@@ -1,0 +1,77 @@
+// Ablation for §4.3's dictionary-encoding threshold (default ratio 0.8):
+// sweep the threshold over string columns of varying cardinality and
+// measure file size and load time — showing why the check exists (TPC-H's
+// comment column turns dictionary work into pure overhead, §7.2).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "orc/writer.h"
+
+namespace minihive {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Fmt;
+using bench::Mb;
+using bench::TablePrinter;
+
+int Main() {
+  std::printf("=== Ablation: dictionary threshold (paper §4.3, default 0.8) "
+              "===\n\n");
+
+  constexpr int kRows = 200000;
+  struct Column {
+    const char* name;
+    int cardinality;  // Distinct values; 0 = all unique.
+  };
+  Column columns[] = {{"low-card (50 values)", 50},
+                      {"mid-card (20k values)", 20000},
+                      {"unique strings", 0}};
+  TypePtr schema = *TypeDescription::Parse("struct<s:string>");
+
+  TablePrinter table({"column", "threshold", "encoding", "file MB",
+                      "load ms"});
+  for (const Column& column : columns) {
+    for (double threshold : {0.0, 0.5, 0.8, 1.0}) {
+      dfs::FileSystem fs;
+      orc::OrcWriterOptions options;
+      options.dictionary_key_ratio = threshold;
+      auto writer = CheckResult(
+          orc::OrcWriter::Create(&fs, "/t", schema, options), "create");
+      Random rng(7);
+      Stopwatch watch;
+      for (int i = 0; i < kRows; ++i) {
+        std::string value =
+            column.cardinality == 0
+                ? "u" + std::to_string(i) + rng.NextString(12)
+                : "val-" + std::to_string(rng.Uniform(column.cardinality));
+        Check(writer->AddRow({Value::String(value)}), "row");
+      }
+      Check(writer->Close(), "close");
+      double ms = watch.ElapsedMillis();
+      // Detect which encoding won by the file size signature is awkward;
+      // infer from the ratio test directly.
+      double distinct = column.cardinality == 0
+                            ? kRows
+                            : std::min(column.cardinality, kRows);
+      const char* encoding =
+          distinct / kRows <= threshold ? "DICTIONARY" : "DIRECT";
+      table.AddRow({column.name, Fmt(threshold, 1), encoding,
+                    Mb(*fs.FileSize("/t")), Fmt(ms, 0)});
+    }
+  }
+  table.Print();
+  std::printf("expected: dictionary shrinks low-cardinality columns; for "
+              "unique strings it only costs load time — the 0.8 ratio check "
+              "avoids that (paper §7.2's TPC-H observation).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace minihive
+
+int main() { return minihive::Main(); }

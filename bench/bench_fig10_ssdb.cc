@@ -1,0 +1,124 @@
+// Reproduces Figure 10 of the paper: SS-DB query 1 (easy / medium / hard)
+// elapsed times and bytes read from the DFS, comparing:
+//   - RCFile            (4 MB row groups, no indexes)
+//   - ORC File (No PPD) (large stripes, indexes ignored)
+//   - ORC File (PPD)    (predicates pushed to the reader; stripe and
+//                        index-group statistics skip unnecessary data)
+//
+// Query template (paper §7.2):
+//   SELECT SUM(v1), COUNT(*) FROM cycle
+//   WHERE x BETWEEN 0 AND var AND y BETWEEN 0 AND var
+// var = grid/4 (easy), grid/2 (medium), grid (hard).
+//
+// Expected shape: ORC reads less than RCFile even without PPD (bigger
+// sequential units); PPD slashes bytes read for easy/medium; for hard
+// (everything matches) PPD costs only the small index overhead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "datagen/ssdb.h"
+#include "ql/driver.h"
+
+namespace minihive {
+namespace {
+
+using bench::Check;
+using bench::CheckResult;
+using bench::Fmt;
+using bench::Mb;
+using bench::TablePrinter;
+
+int Main() {
+  dfs::FileSystem fs;
+  ql::Catalog catalog(&fs);
+
+  std::printf("=== Figure 10: SS-DB Q1 — elapsed time and DFS bytes read ===\n\n");
+
+  datagen::SsdbOptions options;
+  options.grid_size = 15000;
+  options.tiles_per_axis = 50;
+  options.pixels_per_tile = 320;  // 800k rows.
+  options.format = formats::FormatKind::kRcFile;
+  Check(datagen::LoadSsdbCycle(&catalog, "cycle_rc", options), "rc data");
+  options.format = formats::FormatKind::kOrcFile;
+  Check(datagen::LoadSsdbCycle(&catalog, "cycle_orc", options), "orc data");
+
+  struct Variant {
+    const char* name;
+    int64_t var;
+  };
+  std::vector<Variant> variants = {
+      {"1.easy", options.grid_size / 4},
+      {"1.medium", options.grid_size / 2},
+      {"1.hard", options.grid_size},
+  };
+  struct Config {
+    const char* label;
+    const char* table;
+    bool ppd;
+  };
+  std::vector<Config> configs = {
+      {"RCFile (No PPD)", "cycle_rc", false},
+      {"ORC File (No PPD)", "cycle_orc", false},
+      {"ORC File (PPD)", "cycle_orc", true},
+  };
+
+  TablePrinter elapsed({"query", configs[0].label, configs[1].label,
+                        configs[2].label});
+  TablePrinter bytes({"query", configs[0].label, configs[1].label,
+                      configs[2].label});
+  double bytes_read[3][3];
+  for (size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::string> erow = {variants[v].name};
+    std::vector<std::string> brow = {variants[v].name};
+    for (size_t c = 0; c < configs.size(); ++c) {
+      ql::DriverOptions driver_options;
+      driver_options.predicate_pushdown = configs[c].ppd;
+      ql::Driver driver(&fs, &catalog, driver_options);
+      std::string sql = "SELECT SUM(v1), COUNT(*) FROM " +
+                        std::string(configs[c].table) + " WHERE x BETWEEN 0 AND " +
+                        std::to_string(variants[v].var) +
+                        " AND y BETWEEN 0 AND " +
+                        std::to_string(variants[v].var);
+      fs.stats().Reset();
+      Stopwatch watch;
+      ql::QueryResult result = CheckResult(driver.Execute(sql), "query");
+      double ms = watch.ElapsedMillis();
+      bytes_read[v][c] = static_cast<double>(fs.stats().bytes_read.load());
+      erow.push_back(Fmt(ms, 0) + " ms");
+      brow.push_back(Mb(fs.stats().bytes_read.load()) + " MB");
+      if (result.rows.size() != 1) {
+        std::fprintf(stderr, "unexpected result size\n");
+        return 1;
+      }
+    }
+    elapsed.AddRow(erow);
+    bytes.AddRow(brow);
+  }
+  std::printf("--- Figure 10(a): elapsed times ---\n");
+  elapsed.Print();
+  std::printf("--- Figure 10(b): bytes read from the DFS ---\n");
+  bytes.Print();
+
+  std::printf("shape checks:\n");
+  std::printf("  easy: PPD cuts ORC bytes by %.1fx (paper: 16.91GB -> 1.07GB)\n",
+              bytes_read[0][1] / bytes_read[0][2]);
+  std::printf("  ORC (No PPD) <= RCFile bytes on hard: %s\n",
+              bytes_read[2][1] <= bytes_read[2][0] * 1.05 ? "yes" : "NO");
+  double overhead = bytes_read[2][2] / bytes_read[2][1] - 1.0;
+  std::printf("  hard: PPD index overhead is small: +%.1f%% (paper: ~40MB on "
+              "17GB)\n", overhead * 100);
+  std::printf("  medium PPD between easy and hard: %s\n",
+              bytes_read[0][2] < bytes_read[1][2] &&
+                      bytes_read[1][2] < bytes_read[2][2]
+                  ? "yes"
+                  : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace minihive
+
+int main() { return minihive::Main(); }

@@ -1,0 +1,110 @@
+// Reproduces Figure 9 of the paper: elapsed time to load the plain-text
+// datasets into RCFile, RCFile+codec, ORC File and ORC File+codec.
+//
+// Expected shape: ORC load times are comparable to RCFile for SS-DB and
+// TPC-DS, but noticeably higher for TPC-H, where the high-cardinality
+// l_comment column makes the ORC writer's dictionary bookkeeping useless
+// work (paper §7.2).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "datagen/loader.h"
+#include "datagen/ssdb.h"
+#include "datagen/tpcds.h"
+#include "datagen/tpch.h"
+#include "ql/catalog.h"
+
+namespace minihive {
+namespace {
+
+using bench::Check;
+using bench::Fmt;
+using bench::TablePrinter;
+
+struct Workload {
+  std::string name;
+  std::vector<std::string> tables;
+};
+
+int Main() {
+  dfs::FileSystem fs;
+  ql::Catalog catalog(&fs);
+
+  std::printf("=== Figure 9: data loading times (ms) ===\n\n");
+
+  datagen::SsdbOptions ssdb;
+  ssdb.tiles_per_axis = 50;
+  ssdb.pixels_per_tile = 160;
+  Check(datagen::LoadSsdbCycle(&catalog, "ssdb_cycle", ssdb), "ssdb");
+  datagen::TpchOptions tpch;
+  tpch.lineitem_rows = 250000;
+  tpch.orders_rows = 60000;
+  Check(datagen::LoadTpch(&catalog, "tpch", tpch), "tpch");
+  datagen::TpcdsOptions tpcds;
+  tpcds.store_sales_rows = 400000;
+  Check(datagen::LoadTpcds(&catalog, "tpcds", tpcds), "tpcds");
+
+  std::vector<Workload> workloads = {
+      {"SS-DB", {"ssdb_cycle"}},
+      {"TPC-H", {"tpch_lineitem", "tpch_orders"}},
+      {"TPC-DS",
+       {"tpcds_store_sales", "tpcds_item", "tpcds_store",
+        "tpcds_customer_demographics", "tpcds_date_dim"}},
+  };
+  struct FormatConfig {
+    std::string label;
+    std::string suffix;
+    formats::FormatKind kind;
+    codec::CompressionKind codec;
+  };
+  std::vector<FormatConfig> configs = {
+      {"RCFile", "__rc", formats::FormatKind::kRcFile,
+       codec::CompressionKind::kNone},
+      {"RCFile FastLz", "__rcz", formats::FormatKind::kRcFile,
+       codec::CompressionKind::kFastLz},
+      {"ORC File", "__orc", formats::FormatKind::kOrcFile,
+       codec::CompressionKind::kNone},
+      {"ORC File FastLz", "__orcz", formats::FormatKind::kOrcFile,
+       codec::CompressionKind::kFastLz},
+  };
+
+  double load_ms[4][3];
+  TablePrinter table({"", "SS-DB", "TPC-H", "TPC-DS"});
+  for (size_t c = 0; c < configs.size(); ++c) {
+    std::vector<std::string> row = {configs[c].label};
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      Stopwatch watch;
+      for (const std::string& t : workloads[w].tables) {
+        Check(datagen::CopyTable(&catalog, t, t + configs[c].suffix,
+                                 configs[c].kind, configs[c].codec),
+              "copy");
+      }
+      load_ms[c][w] = watch.ElapsedMillis();
+      row.push_back(Fmt(load_ms[c][w], 0));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("shape checks:\n");
+  double orc_vs_rc_tpch = load_ms[2][1] / load_ms[0][1];
+  double orc_vs_rc_ssdb = load_ms[2][0] / load_ms[0][0];
+  double orc_vs_rc_tpcds = load_ms[2][2] / load_ms[0][2];
+  std::printf(
+      "  ORC/RCFile load-time ratio: SS-DB %.2fx, TPC-H %.2fx, TPC-DS %.2fx\n",
+      orc_vs_rc_ssdb, orc_vs_rc_tpch, orc_vs_rc_tpcds);
+  std::printf(
+      "  TPC-H is ORC's worst case (dictionary useless-work, paper ~2x): "
+      "%s\n",
+      orc_vs_rc_tpch > orc_vs_rc_ssdb && orc_vs_rc_tpch > orc_vs_rc_tpcds
+          ? "yes"
+          : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace minihive
+
+int main() { return minihive::Main(); }

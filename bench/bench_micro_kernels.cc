@@ -1,0 +1,201 @@
+// Microbenchmarks (google-benchmark) for the hot paths the paper's §6
+// motivates: interpreted one-row-at-a-time expression evaluation versus
+// tight-loop vectorized kernels, plus the ORC stream encoders and the LZ
+// codecs. Run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/codec.h"
+#include "common/random.h"
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "orc/stream_encoding.h"
+#include "vec/vector_expressions.h"
+
+namespace minihive {
+namespace {
+
+using exec::Expr;
+using exec::ExprKind;
+using exec::ExprPtr;
+
+// ---- Row-mode vs vectorized expression: price * (1 - discount).
+
+ExprPtr DiscountExpr() {
+  return Expr::Binary(
+      ExprKind::kMul, Expr::Column(0, TypeKind::kDouble),
+      Expr::Binary(ExprKind::kSub,
+                   Expr::Literal(Value::Double(1.0), TypeKind::kDouble),
+                   Expr::Column(1, TypeKind::kDouble)));
+}
+
+void BM_RowModeExpression(benchmark::State& state) {
+  ExprPtr expr = DiscountExpr();
+  Random rng(1);
+  std::vector<Row> rows;
+  for (int i = 0; i < 1024; ++i) {
+    rows.push_back({Value::Double(rng.NextDouble() * 100),
+                    Value::Double(rng.NextDouble() * 0.1)});
+  }
+  double sink = 0;
+  for (auto _ : state) {
+    for (const Row& row : rows) {
+      sink += expr->Eval(row).AsDouble();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RowModeExpression);
+
+void BM_VectorizedExpression(benchmark::State& state) {
+  vec::BatchCompiler compiler({TypeKind::kDouble, TypeKind::kDouble});
+  int out = -1;
+  auto compiled = compiler.CompileProjection(*DiscountExpr(), &out);
+  auto batch = vec::MakeBatchFor(compiler.column_types(), 1024);
+  Random rng(1);
+  for (int i = 0; i < 1024; ++i) {
+    batch->DoubleCol(0)->vector[i] = rng.NextDouble() * 100;
+    batch->DoubleCol(1)->vector[i] = rng.NextDouble() * 0.1;
+  }
+  batch->size = 1024;
+  double sink = 0;
+  for (auto _ : state) {
+    (*compiled)->Evaluate(batch.get());
+    sink += batch->DoubleCol(out)->vector[17];
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VectorizedExpression);
+
+// ---- Row-mode filter vs selected[]-narrowing vector filter.
+
+void BM_RowModeFilter(benchmark::State& state) {
+  ExprPtr pred = Expr::Between(
+      Expr::Column(0, TypeKind::kDouble),
+      Expr::Literal(Value::Double(0.05), TypeKind::kDouble),
+      Expr::Literal(Value::Double(0.07), TypeKind::kDouble));
+  Random rng(2);
+  std::vector<Row> rows;
+  for (int i = 0; i < 1024; ++i) {
+    rows.push_back({Value::Double(rng.NextDouble() * 0.1)});
+  }
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (const Row& row : rows) {
+      Value v = pred->Eval(row);
+      if (!v.is_null() && v.AsBool()) ++sink;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RowModeFilter);
+
+void BM_VectorizedFilter(benchmark::State& state) {
+  vec::BatchCompiler compiler({TypeKind::kDouble});
+  auto filters = compiler.CompileFilter(Expr::Between(
+      Expr::Column(0, TypeKind::kDouble),
+      Expr::Literal(Value::Double(0.05), TypeKind::kDouble),
+      Expr::Literal(Value::Double(0.07), TypeKind::kDouble)));
+  auto batch = vec::MakeBatchFor(compiler.column_types(), 1024);
+  Random rng(2);
+  for (int i = 0; i < 1024; ++i) {
+    batch->DoubleCol(0)->vector[i] = rng.NextDouble() * 0.1;
+  }
+  batch->size = 1024;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    batch->selected_in_use = false;
+    batch->selected_size = 0;
+    for (auto& f : *filters) f->Filter(batch.get());
+    sink += batch->selected_size;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VectorizedFilter);
+
+// ---- ORC integer RLE vs raw varints.
+
+void BM_IntRleEncodeMonotonic(benchmark::State& state) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 10000; ++i) values.push_back(i * 3);
+  for (auto _ : state) {
+    orc::IntRleEncoder encoder;
+    for (int64_t v : values) encoder.Add(v);
+    std::string out;
+    encoder.Finish(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_IntRleEncodeMonotonic);
+
+void BM_IntRleDecodeMonotonic(benchmark::State& state) {
+  orc::IntRleEncoder encoder;
+  for (int64_t i = 0; i < 10000; ++i) encoder.Add(i * 3);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  std::vector<int64_t> out(10000);
+  for (auto _ : state) {
+    orc::IntRleDecoder decoder(encoded);
+    benchmark::DoNotOptimize(decoder.NextBatch(out.data(), out.size()).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_IntRleDecodeMonotonic);
+
+// ---- Codec throughput on pseudo-text.
+
+std::string PseudoTextPayload() {
+  Random rng(3);
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                         "zeta", "eta", "theta"};
+  std::string data;
+  while (data.size() < (1 << 20)) {
+    data += words[rng.Uniform(8)];
+    data.push_back(' ');
+  }
+  return data;
+}
+
+void BM_FastLzCompress(benchmark::State& state) {
+  std::string data = PseudoTextPayload();
+  const codec::Codec* codec = codec::GetCodec(codec::CompressionKind::kFastLz);
+  for (auto _ : state) {
+    std::string out;
+    benchmark::DoNotOptimize(codec->Compress(data, &out).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FastLzCompress);
+
+void BM_FastLzDecompress(benchmark::State& state) {
+  std::string data = PseudoTextPayload();
+  const codec::Codec* codec = codec::GetCodec(codec::CompressionKind::kFastLz);
+  std::string compressed;
+  (void)codec->Compress(data, &compressed);
+  for (auto _ : state) {
+    std::string out;
+    benchmark::DoNotOptimize(codec->Decompress(compressed, &out).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_FastLzDecompress);
+
+// ---- Shuffle key serialization (hash join / aggregation hot path).
+
+void BM_SerializeKey(benchmark::State& state) {
+  Row key = {Value::Int(123456), Value::String("group-key-value")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::SerializeKey(key));
+  }
+}
+BENCHMARK(BM_SerializeKey);
+
+}  // namespace
+}  // namespace minihive
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// Reproduces Table 2 of the paper: dataset sizes for SS-DB, TPC-H and
+// TPC-DS stored as Text, RCFile, RCFile+codec, ORC File and ORC File+codec.
+//
+// Our "Snappy" is the FastLz codec (see DESIGN.md substitutions). Expected
+// shape (paper Table 2):
+//   - ORC < RCFile with and without the codec (type-specific encodings win);
+//   - SS-DB / TPC-DS: plain ORC already beats RCFile+codec;
+//   - TPC-H: the random-string l_comment column defeats the dictionary, so
+//     the general-purpose codec contributes the biggest extra reduction.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/loader.h"
+#include "datagen/ssdb.h"
+#include "datagen/tpcds.h"
+#include "datagen/tpch.h"
+#include "ql/catalog.h"
+
+namespace minihive {
+namespace {
+
+using bench::Check;
+using bench::Mb;
+using bench::TablePrinter;
+
+struct Workload {
+  std::string name;
+  std::vector<std::string> tables;  // Text-format source tables.
+};
+
+uint64_t WorkloadBytes(ql::Catalog* catalog, const Workload& workload,
+                       const std::string& suffix) {
+  uint64_t total = 0;
+  for (const std::string& table : workload.tables) {
+    auto desc = catalog->GetTable(table + suffix);
+    Check(desc.status(), "lookup");
+    total += catalog->TableBytes(**desc);
+  }
+  return total;
+}
+
+int Main() {
+  dfs::FileSystem fs;
+  ql::Catalog catalog(&fs);
+
+  std::printf("=== Table 2: dataset sizes (MB) by storage format ===\n");
+  std::printf("(paper: SF300 on an 11-node cluster; here: scaled-down "
+              "generated datasets)\n\n");
+
+  // ---- Generate the three datasets in Text.
+  datagen::SsdbOptions ssdb;
+  ssdb.tiles_per_axis = 50;
+  ssdb.pixels_per_tile = 160;  // 400k rows.
+  Check(datagen::LoadSsdbCycle(&catalog, "ssdb_cycle", ssdb), "ssdb");
+
+  datagen::TpchOptions tpch;
+  tpch.lineitem_rows = 250000;
+  tpch.orders_rows = 60000;
+  Check(datagen::LoadTpch(&catalog, "tpch", tpch), "tpch");
+
+  datagen::TpcdsOptions tpcds;
+  tpcds.store_sales_rows = 400000;
+  Check(datagen::LoadTpcds(&catalog, "tpcds", tpcds), "tpcds");
+
+  std::vector<Workload> workloads = {
+      {"SS-DB", {"ssdb_cycle"}},
+      {"TPC-H", {"tpch_lineitem", "tpch_orders"}},
+      {"TPC-DS",
+       {"tpcds_store_sales", "tpcds_item", "tpcds_store",
+        "tpcds_customer_demographics", "tpcds_date_dim"}},
+  };
+
+  struct FormatConfig {
+    std::string label;
+    std::string suffix;
+    formats::FormatKind kind;
+    codec::CompressionKind codec;
+  };
+  std::vector<FormatConfig> configs = {
+      {"RCFile", "__rc", formats::FormatKind::kRcFile,
+       codec::CompressionKind::kNone},
+      {"RCFile FastLz", "__rcz", formats::FormatKind::kRcFile,
+       codec::CompressionKind::kFastLz},
+      {"ORC File", "__orc", formats::FormatKind::kOrcFile,
+       codec::CompressionKind::kNone},
+      {"ORC File FastLz", "__orcz", formats::FormatKind::kOrcFile,
+       codec::CompressionKind::kFastLz},
+  };
+
+  // Copy every table of every workload into every format.
+  for (const Workload& workload : workloads) {
+    for (const FormatConfig& config : configs) {
+      for (const std::string& table : workload.tables) {
+        Check(datagen::CopyTable(&catalog, table, table + config.suffix,
+                                 config.kind, config.codec),
+              "copy");
+      }
+    }
+  }
+
+  TablePrinter table({"", "SS-DB", "TPC-H", "TPC-DS"});
+  {
+    std::vector<std::string> row = {"Text"};
+    for (const Workload& w : workloads) {
+      row.push_back(Mb(WorkloadBytes(&catalog, w, "")));
+    }
+    table.AddRow(row);
+  }
+  for (const FormatConfig& config : configs) {
+    std::vector<std::string> row = {config.label};
+    for (const Workload& w : workloads) {
+      row.push_back(Mb(WorkloadBytes(&catalog, w, config.suffix)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // Shape assertions mirroring the paper's reading of Table 2.
+  uint64_t rc[3], rcz[3], orc[3], orcz[3];
+  for (int i = 0; i < 3; ++i) {
+    rc[i] = WorkloadBytes(&catalog, workloads[i], "__rc");
+    rcz[i] = WorkloadBytes(&catalog, workloads[i], "__rcz");
+    orc[i] = WorkloadBytes(&catalog, workloads[i], "__orc");
+    orcz[i] = WorkloadBytes(&catalog, workloads[i], "__orcz");
+  }
+  std::printf("shape checks:\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  [%s] ORC < RCFile: %s   ORC+z < RCFile+z: %s\n",
+                workloads[i].name.c_str(), orc[i] < rc[i] ? "yes" : "NO",
+                orcz[i] < rcz[i] ? "yes" : "NO");
+  }
+  std::printf("  [SS-DB ] plain ORC < RCFile+codec: %s\n",
+              orc[0] < rcz[0] ? "yes" : "NO");
+  std::printf("  [TPC-DS] plain ORC < RCFile+codec: %s\n",
+              orc[2] < rcz[2] ? "yes" : "NO");
+  double tpch_gain = static_cast<double>(orc[1] - orcz[1]) / orc[1];
+  double tpcds_gain = static_cast<double>(orc[2] - orcz[2]) / orc[2];
+  std::printf("  [TPC-H ] codec shrinks ORC by %.0f%%, TPC-DS by %.0f%% "
+              "(paper: TPC-H gains most: %s)\n",
+              tpch_gain * 100, tpcds_gain * 100,
+              tpch_gain > tpcds_gain ? "yes" : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace minihive
+
+int main() { return minihive::Main(); }

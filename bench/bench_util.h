@@ -1,0 +1,84 @@
+#ifndef MINIHIVE_BENCH_BENCH_UTIL_H_
+#define MINIHIVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace minihive::bench {
+
+/// Crashes loudly on error — benches have no recovery story.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+inline std::string Mb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+/// Fixed-width table printer for the figure/table reproductions.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const std::string& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    for (size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], row[i].size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (size_t w : widths_) rule += std::string(w + 2, '-') + "+";
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+    std::printf("\n");
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf(" %-*s |", static_cast<int>(widths_[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace minihive::bench
+
+#endif  // MINIHIVE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// MiniHive quickstart: create tables in the embedded warehouse, load rows,
+// and run SQL end-to-end on the in-process MapReduce engine.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: FileSystem -> Catalog ->
+// loader -> Driver.
+
+#include <cstdio>
+
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+using namespace minihive;
+
+namespace {
+
+void PrintResult(const ql::QueryResult& result) {
+  for (const std::string& name : result.column_names) {
+    std::printf("%-24s", name.c_str());
+  }
+  std::printf("\n");
+  for (const Row& row : result.rows) {
+    for (const Value& v : row) {
+      std::printf("%-24s", v.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows, %d job%s, %.0f ms)\n\n", result.rows.size(),
+              result.num_jobs, result.num_jobs == 1 ? "" : "s",
+              result.elapsed_millis);
+}
+
+int Run() {
+  // 1. An in-process DFS and a metastore.
+  dfs::FileSystem fs;
+  ql::Catalog catalog(&fs);
+
+  // 2. Create and load two tables. `employees` uses the ORC file format,
+  //    the paper's storage contribution; `departments` stays plain text.
+  auto employees_schema = *TypeDescription::Parse(
+      "struct<id:bigint,name:string,dept_id:bigint,salary:double>");
+  std::vector<Row> employees;
+  const char* names[] = {"ada", "grace", "edsger", "barbara", "donald",
+                         "tony", "leslie", "john"};
+  for (int i = 0; i < 800; ++i) {
+    employees.push_back({Value::Int(i),
+                         Value::String(std::string(names[i % 8]) + "-" +
+                                       std::to_string(i)),
+                         Value::Int(i % 4),
+                         Value::Double(50000 + (i % 37) * 997.0)});
+  }
+  if (!datagen::CreateAndLoad(&catalog, "employees", employees_schema,
+                              formats::FormatKind::kOrcFile,
+                              codec::CompressionKind::kFastLz, employees)
+           .ok()) {
+    return 1;
+  }
+
+  auto departments_schema =
+      *TypeDescription::Parse("struct<dept_id:bigint,dept_name:string>");
+  std::vector<Row> departments = {
+      {Value::Int(0), Value::String("storage")},
+      {Value::Int(1), Value::String("planner")},
+      {Value::Int(2), Value::String("execution")},
+      {Value::Int(3), Value::String("metastore")},
+  };
+  if (!datagen::CreateAndLoad(&catalog, "departments", departments_schema,
+                              formats::FormatKind::kTextFile,
+                              codec::CompressionKind::kNone, departments)
+           .ok()) {
+    return 1;
+  }
+
+  // 3. A Driver with all three of the paper's advancements enabled.
+  ql::DriverOptions options;
+  options.correlation_optimizer = true;
+  options.vectorized_execution = true;
+  ql::Driver driver(&fs, &catalog, options);
+
+  // Filter + projection (vectorized over the ORC table).
+  auto r1 = driver.Execute(
+      "SELECT name, salary FROM employees WHERE salary > 85000 LIMIT 5");
+  if (!r1.ok()) {
+    std::fprintf(stderr, "%s\n", r1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- high earners --\n");
+  PrintResult(*r1);
+
+  // Join + aggregation + order (map join for the small dimension).
+  auto r2 = driver.Execute(
+      "SELECT dept_name, COUNT(*) AS headcount, AVG(salary) AS avg_salary "
+      "FROM employees JOIN departments "
+      "  ON employees.dept_id = departments.dept_id "
+      "GROUP BY dept_name ORDER BY dept_name");
+  if (!r2.ok()) {
+    std::fprintf(stderr, "%s\n", r2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- department stats --\n");
+  PrintResult(*r2);
+
+  // Simple aggregations over ORC tables are answered from file statistics
+  // alone — zero MapReduce jobs (paper 4.2).
+  auto r3 = driver.Execute(
+      "SELECT COUNT(*), MIN(salary), MAX(salary) FROM employees");
+  if (r3.ok()) {
+    std::printf("-- metadata-only aggregation (%d jobs) --\n", r3->num_jobs);
+    PrintResult(*r3);
+  }
+
+  // Explain shows the compiled MapReduce job DAG.
+  auto plan = driver.Explain(
+      "SELECT dept_id, SUM(salary) FROM employees GROUP BY dept_id");
+  if (plan.ok()) {
+    std::printf("-- plan for a grouped aggregate --\n%s\n",
+                plan->plan_text.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,68 @@
+#ifndef MINIHIVE_COMMON_RANDOM_H_
+#define MINIHIVE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace minihive {
+
+/// Deterministic xoshiro256** PRNG seeded via SplitMix64. Used by the
+/// workload generators so every benchmark run sees identical data.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).
+  uint64_t Uniform(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Random lowercase-alphanumeric string of exactly `length` characters.
+  std::string NextString(size_t length) {
+    static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(length, ' ');
+    for (size_t i = 0; i < length; ++i) {
+      s[i] = kAlphabet[Uniform(sizeof(kAlphabet) - 1)];
+    }
+    return s;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_RANDOM_H_

@@ -1,0 +1,131 @@
+#ifndef MINIHIVE_COMMON_STATUS_H_
+#define MINIHIVE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace minihive {
+
+/// Error categories used across MiniHive. Mirrors the coarse categories used
+/// by Arrow/RocksDB style status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Status carries either success (`kOk`) or an error code with a message.
+/// MiniHive library code never throws; every fallible API returns a Status
+/// or a Result<T>.
+///
+/// The OK state stores no allocation: `rep_` is null.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status cheap to copy; errors are rare and never mutated.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define MINIHIVE_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::minihive::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define MINIHIVE_CONCAT_IMPL(a, b) a##b
+#define MINIHIVE_CONCAT(a, b) MINIHIVE_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds the
+/// moved value to `lhs` (which may include a declaration).
+#define MINIHIVE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  MINIHIVE_ASSIGN_OR_RETURN_IMPL(                                      \
+      MINIHIVE_CONCAT(_minihive_result_, __LINE__), lhs, rexpr)
+
+#define MINIHIVE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_STATUS_H_

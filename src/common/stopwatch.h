@@ -1,0 +1,49 @@
+#ifndef MINIHIVE_COMMON_STOPWATCH_H_
+#define MINIHIVE_COMMON_STOPWATCH_H_
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdint>
+
+namespace minihive {
+
+/// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  /// Elapsed wall time in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Now() - start_).count();
+  }
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static Clock::time_point Now() { return Clock::now(); }
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch, used to report the paper's "cumulative CPU
+/// time" metric (Figure 12b) for map/reduce tasks.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  /// CPU nanoseconds consumed by the calling thread since construction/reset.
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+ private:
+  static int64_t NowNanos() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  }
+  int64_t start_;
+};
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_STOPWATCH_H_

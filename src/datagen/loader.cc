@@ -1,0 +1,85 @@
+#include "datagen/loader.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace minihive::datagen {
+
+Status CreateAndLoadStreaming(ql::Catalog* catalog, const std::string& name,
+                              TypePtr schema, formats::FormatKind format,
+                              codec::CompressionKind compression,
+                              uint64_t num_rows,
+                              const std::function<Row(uint64_t)>& generate,
+                              int num_files) {
+  MINIHIVE_RETURN_IF_ERROR(
+      catalog->CreateTable(name, schema, format, compression));
+  MINIHIVE_ASSIGN_OR_RETURN(const ql::TableDesc* table,
+                            catalog->GetTable(name));
+  const formats::FileFormat* file_format = formats::GetFileFormat(format);
+  formats::WriterOptions options;
+  options.compression = compression;
+  num_files = std::max(1, num_files);
+  uint64_t per_file = (num_rows + num_files - 1) / num_files;
+  uint64_t row = 0;
+  for (int f = 0; f < num_files && row < num_rows; ++f) {
+    std::string path =
+        table->path_prefix + "/part-" + std::to_string(f);
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::unique_ptr<formats::FileWriter> writer,
+        file_format->CreateWriter(catalog->fs(), path, table->schema,
+                                  options));
+    for (uint64_t i = 0; i < per_file && row < num_rows; ++i, ++row) {
+      MINIHIVE_RETURN_IF_ERROR(writer->AddRow(generate(row)));
+    }
+    MINIHIVE_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+Status CreateAndLoad(ql::Catalog* catalog, const std::string& name,
+                     TypePtr schema, formats::FormatKind format,
+                     codec::CompressionKind compression,
+                     const std::vector<Row>& rows, int num_files) {
+  return CreateAndLoadStreaming(
+      catalog, name, std::move(schema), format, compression, rows.size(),
+      [&rows](uint64_t i) { return rows[i]; }, num_files);
+}
+
+Status CopyTable(ql::Catalog* catalog, const std::string& from,
+                 const std::string& to, formats::FormatKind format,
+                 codec::CompressionKind compression) {
+  MINIHIVE_ASSIGN_OR_RETURN(const ql::TableDesc* source,
+                            catalog->GetTable(from));
+  MINIHIVE_RETURN_IF_ERROR(
+      catalog->CreateTable(to, source->schema, format, compression));
+  MINIHIVE_ASSIGN_OR_RETURN(const ql::TableDesc* target,
+                            catalog->GetTable(to));
+  const formats::FileFormat* source_format =
+      formats::GetFileFormat(source->format);
+  const formats::FileFormat* target_format = formats::GetFileFormat(format);
+  formats::WriterOptions woptions;
+  woptions.compression = compression;
+  int part = 0;
+  for (const std::string& path : catalog->TableFiles(*source)) {
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::unique_ptr<formats::RowReader> reader,
+        source_format->OpenReader(catalog->fs(), path, source->schema,
+                                  formats::ReadOptions()));
+    std::string out_path =
+        target->path_prefix + "/part-" + std::to_string(part++);
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::unique_ptr<formats::FileWriter> writer,
+        target_format->CreateWriter(catalog->fs(), out_path, target->schema,
+                                    woptions));
+    Row row;
+    while (true) {
+      MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      MINIHIVE_RETURN_IF_ERROR(writer->AddRow(row));
+    }
+    MINIHIVE_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+}  // namespace minihive::datagen

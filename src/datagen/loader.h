@@ -1,0 +1,38 @@
+#ifndef MINIHIVE_DATAGEN_LOADER_H_
+#define MINIHIVE_DATAGEN_LOADER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ql/catalog.h"
+
+namespace minihive::datagen {
+
+/// Creates `name` in the catalog and writes `rows` into it, spread over
+/// `num_files` files.
+Status CreateAndLoad(ql::Catalog* catalog, const std::string& name,
+                     TypePtr schema, formats::FormatKind format,
+                     codec::CompressionKind compression,
+                     const std::vector<Row>& rows, int num_files = 1);
+
+/// Streaming variant for large tables: `generate` is called with a row
+/// index in [0, num_rows) and must return that row (generators are
+/// deterministic, so tables are reproducible).
+Status CreateAndLoadStreaming(ql::Catalog* catalog, const std::string& name,
+                              TypePtr schema, formats::FormatKind format,
+                              codec::CompressionKind compression,
+                              uint64_t num_rows,
+                              const std::function<Row(uint64_t)>& generate,
+                              int num_files = 1);
+
+/// Copies an existing table's rows into a new table with a different
+/// storage format (the "loading data into a format" step of Table 2 /
+/// Figure 9).
+Status CopyTable(ql::Catalog* catalog, const std::string& from,
+                 const std::string& to, formats::FormatKind format,
+                 codec::CompressionKind compression);
+
+}  // namespace minihive::datagen
+
+#endif  // MINIHIVE_DATAGEN_LOADER_H_

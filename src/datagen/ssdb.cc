@@ -1,0 +1,36 @@
+#include "datagen/ssdb.h"
+
+#include "common/random.h"
+
+namespace minihive::datagen {
+
+TypePtr SsdbCycleSchema() {
+  return *TypeDescription::Parse(
+      "struct<x:bigint,y:bigint,v1:bigint,v2:bigint,v3:double>");
+}
+
+Row SsdbCycleRow(uint64_t index, const SsdbOptions& options) {
+  // Tile-order generation: consecutive rows belong to the same tile, so a
+  // 10k-row index group covers a narrow x/y rectangle.
+  uint64_t tile = index / options.pixels_per_tile;
+  int64_t tile_x = static_cast<int64_t>(tile / options.tiles_per_axis);
+  int64_t tile_y = static_cast<int64_t>(tile % options.tiles_per_axis);
+  int64_t tile_span = options.grid_size / options.tiles_per_axis;
+  Random rng(options.seed ^ (index * 0xd6e8feb86659fd93ULL + 11));
+  int64_t x = tile_x * tile_span + rng.Range(0, tile_span - 1);
+  int64_t y = tile_y * tile_span + rng.Range(0, tile_span - 1);
+  return {Value::Int(x), Value::Int(y), Value::Int(rng.Range(0, 4095)),
+          Value::Int(rng.Range(0, 255)),
+          Value::Double(rng.NextDouble() * 100.0)};
+}
+
+Status LoadSsdbCycle(ql::Catalog* catalog, const std::string& name,
+                     const SsdbOptions& options) {
+  return CreateAndLoadStreaming(
+      catalog, name, SsdbCycleSchema(), options.format, options.compression,
+      options.TotalRows(),
+      [&options](uint64_t i) { return SsdbCycleRow(i, options); },
+      options.num_files);
+}
+
+}  // namespace minihive::datagen

@@ -1,0 +1,120 @@
+#include "datagen/tpcds.h"
+
+#include "common/random.h"
+
+namespace minihive::datagen {
+
+namespace {
+
+const char* kGenders[] = {"M", "F"};
+const char* kMaritalStatus[] = {"S", "M", "D", "W", "U"};
+const char* kEducation[] = {"Primary", "Secondary", "College", "2 yr Degree",
+                            "4 yr Degree", "Advanced Degree", "Unknown"};
+const char* kStates[] = {"CA", "NY", "TX", "WA", "OH", "TN", "GA", "IL"};
+const char* kCategories[] = {"Books", "Electronics", "Home", "Jewelry",
+                             "Music", "Shoes", "Sports", "Women"};
+
+}  // namespace
+
+TypePtr TpcdsStoreSalesSchema() {
+  return *TypeDescription::Parse(
+      "struct<ss_sold_date_sk:bigint,ss_item_sk:bigint,ss_cdemo_sk:bigint,"
+      "ss_store_sk:bigint,ss_ticket_number:bigint,ss_quantity:int,"
+      "ss_list_price:double,ss_sales_price:double,ss_coupon_amt:double,"
+      "ss_net_profit:double>");
+}
+
+Row TpcdsStoreSalesRow(uint64_t index, const TpcdsOptions& options) {
+  Random rng(options.seed ^ (index * 0x94d049bb133111ebULL + 3));
+  double list_price = rng.Range(100, 30000) / 100.0;
+  double sales_price = list_price * (rng.Range(50, 100) / 100.0);
+  return {Value::Int(rng.Range(1, static_cast<int64_t>(options.dates))),
+          Value::Int(rng.Range(1, static_cast<int64_t>(options.items))),
+          Value::Int(rng.Range(
+              1, static_cast<int64_t>(options.customer_demographics))),
+          Value::Int(rng.Range(1, static_cast<int64_t>(options.stores))),
+          // Ticket number: ~3 line items per ticket (the high-cardinality
+          // key the Q95-shaped self-join uses).
+          Value::Int(static_cast<int64_t>(index / 3 + 1)),
+          Value::Int(rng.Range(1, 100)),
+          Value::Double(list_price),
+          Value::Double(sales_price),
+          Value::Double(rng.Bernoulli(0.3) ? rng.Range(0, 500) / 100.0 : 0),
+          Value::Double((sales_price - list_price * 0.7) *
+                        rng.Range(1, 100))};
+}
+
+Status LoadTpcds(ql::Catalog* catalog, const std::string& prefix,
+                 const TpcdsOptions& options) {
+  MINIHIVE_RETURN_IF_ERROR(CreateAndLoadStreaming(
+      catalog, prefix + "_store_sales", TpcdsStoreSalesSchema(),
+      options.format, options.compression, options.store_sales_rows,
+      [&options](uint64_t i) { return TpcdsStoreSalesRow(i, options); },
+      options.num_files));
+
+  Random rng(options.seed);
+  // item(i_item_sk, i_item_id, i_category, i_current_price)
+  {
+    std::vector<Row> rows;
+    for (uint64_t i = 1; i <= options.items; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::String("ITEM" + std::to_string(100000 + i)),
+                      Value::String(kCategories[rng.Uniform(8)]),
+                      Value::Double(rng.Range(100, 20000) / 100.0)});
+    }
+    MINIHIVE_RETURN_IF_ERROR(CreateAndLoad(
+        catalog, prefix + "_item",
+        *TypeDescription::Parse("struct<i_item_sk:bigint,i_item_id:string,"
+                                "i_category:string,i_current_price:double>"),
+        options.format, options.compression, rows));
+  }
+  // store(s_store_sk, s_store_name, s_state)
+  {
+    std::vector<Row> rows;
+    for (uint64_t i = 1; i <= options.stores; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::String("store-" + std::to_string(i)),
+                      Value::String(kStates[rng.Uniform(8)])});
+    }
+    MINIHIVE_RETURN_IF_ERROR(CreateAndLoad(
+        catalog, prefix + "_store",
+        *TypeDescription::Parse("struct<s_store_sk:bigint,"
+                                "s_store_name:string,s_state:string>"),
+        options.format, options.compression, rows));
+  }
+  // customer_demographics(cd_demo_sk, cd_gender, cd_marital_status,
+  // cd_education_status)
+  {
+    std::vector<Row> rows;
+    for (uint64_t i = 1; i <= options.customer_demographics; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::String(kGenders[i % 2]),
+                      Value::String(kMaritalStatus[i % 5]),
+                      Value::String(kEducation[i % 7])});
+    }
+    MINIHIVE_RETURN_IF_ERROR(CreateAndLoad(
+        catalog, prefix + "_customer_demographics",
+        *TypeDescription::Parse(
+            "struct<cd_demo_sk:bigint,cd_gender:string,"
+            "cd_marital_status:string,cd_education_status:string>"),
+        options.format, options.compression, rows));
+  }
+  // date_dim(d_date_sk, d_year, d_moy, d_dom)
+  {
+    std::vector<Row> rows;
+    for (uint64_t i = 1; i <= options.dates; ++i) {
+      rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                      Value::Int(2000 + static_cast<int64_t>(i) / 366),
+                      Value::Int(static_cast<int64_t>((i / 31) % 12 + 1)),
+                      Value::Int(static_cast<int64_t>(i % 31 + 1))});
+    }
+    MINIHIVE_RETURN_IF_ERROR(CreateAndLoad(
+        catalog, prefix + "_date_dim",
+        *TypeDescription::Parse("struct<d_date_sk:bigint,d_year:bigint,"
+                                "d_moy:bigint,d_dom:bigint>"),
+        options.format, options.compression, rows));
+  }
+  return Status::OK();
+}
+
+}  // namespace minihive::datagen

@@ -1,0 +1,34 @@
+#ifndef MINIHIVE_DATAGEN_TPCDS_H_
+#define MINIHIVE_DATAGEN_TPCDS_H_
+
+#include "datagen/loader.h"
+
+namespace minihive::datagen {
+
+/// TPC-DS-shaped star schema (paper §7: TPC-DS at SF 300): a numeric fact
+/// table (`store_sales`) plus four small dimension tables, sized so the
+/// dimensions qualify for map joins while the fact table does not — the
+/// setup Figure 11(a)'s Q27 exercises.
+struct TpcdsOptions {
+  uint64_t store_sales_rows = 200000;
+  uint64_t items = 1000;
+  uint64_t stores = 20;
+  uint64_t customer_demographics = 500;
+  uint64_t dates = 365;
+  int num_files = 4;
+  formats::FormatKind format = formats::FormatKind::kTextFile;
+  codec::CompressionKind compression = codec::CompressionKind::kNone;
+  uint64_t seed = 20140622;
+};
+
+TypePtr TpcdsStoreSalesSchema();
+Row TpcdsStoreSalesRow(uint64_t index, const TpcdsOptions& options);
+
+/// Creates `prefix`_store_sales, `prefix`_item, `prefix`_store,
+/// `prefix`_customer_demographics, `prefix`_date_dim.
+Status LoadTpcds(ql::Catalog* catalog, const std::string& prefix,
+                 const TpcdsOptions& options);
+
+}  // namespace minihive::datagen
+
+#endif  // MINIHIVE_DATAGEN_TPCDS_H_

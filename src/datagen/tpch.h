@@ -1,0 +1,40 @@
+#ifndef MINIHIVE_DATAGEN_TPCH_H_
+#define MINIHIVE_DATAGEN_TPCH_H_
+
+#include "datagen/loader.h"
+
+namespace minihive::datagen {
+
+/// TPC-H-shaped data (paper §7 uses TPC-H at SF 300; MiniHive scales row
+/// counts down while keeping the schema features the experiments exercise —
+/// notably the random-string `l_comment` column whose high cardinality
+/// defeats dictionary encoding and slows ORC loading, Table 2 / Figure 9).
+struct TpchOptions {
+  uint64_t lineitem_rows = 200000;
+  uint64_t orders_rows = 50000;
+  int num_files = 4;
+  formats::FormatKind format = formats::FormatKind::kTextFile;
+  codec::CompressionKind compression = codec::CompressionKind::kNone;
+  uint64_t seed = 19920601;
+};
+
+/// Schema of the generated lineitem table (paper Q1/Q6 columns; dates are
+/// day numbers so range predicates stay numeric).
+TypePtr TpchLineitemSchema();
+TypePtr TpchOrdersSchema();
+
+/// One deterministic lineitem row (usable directly by streaming loaders).
+Row TpchLineitemRow(uint64_t index, uint64_t seed);
+Row TpchOrdersRow(uint64_t index, uint64_t seed);
+
+/// Creates `prefix`_lineitem and `prefix`_orders.
+Status LoadTpch(ql::Catalog* catalog, const std::string& prefix,
+                const TpchOptions& options);
+
+/// Day number of 1998-09-02 minus 90 days — the paper's Q1 shipdate cutoff
+/// analogue in our day-number encoding.
+inline constexpr int64_t kTpchQ1ShipdateCutoff = 10471;
+
+}  // namespace minihive::datagen
+
+#endif  // MINIHIVE_DATAGEN_TPCH_H_

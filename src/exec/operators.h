@@ -1,0 +1,112 @@
+#ifndef MINIHIVE_EXEC_OPERATORS_H_
+#define MINIHIVE_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/file_system.h"
+#include "exec/plan.h"
+#include "mr/engine.h"
+
+namespace minihive::exec {
+
+/// A built map-join hash table: join key (serialized) -> build-value rows.
+struct MapJoinHashTable {
+  std::unordered_map<std::string, std::vector<Row>> rows;
+  uint64_t approx_bytes = 0;
+};
+
+/// All small-side tables of one MapJoin operator, in small-side order.
+using MapJoinTables = std::vector<std::shared_ptr<MapJoinHashTable>>;
+
+/// Serializes a key row into a canonical byte string for hash join /
+/// aggregation table keys (NULL-safe and type-tagged).
+std::string SerializeKey(const Row& key);
+
+/// Per-task runtime context handed to every operator at Init.
+struct TaskContext {
+  dfs::FileSystem* fs = nullptr;
+  /// Unique suffix for output files ("m-3", "r-0", ...).
+  std::string task_suffix;
+  /// Shuffle emitter (map tasks of jobs with reducers).
+  mr::ShuffleEmitter* emitter = nullptr;
+  /// Pre-built map-join tables, keyed by MapJoin OpDesc id. Built once per
+  /// job (Hive's "local task") and shared read-only across tasks.
+  const std::unordered_map<int, std::shared_ptr<MapJoinTables>>*
+      mapjoin_tables = nullptr;
+  int reader_host = -1;
+};
+
+/// Base runtime operator. The push-based model from Hive: parents call
+/// Process on children; group-boundary signals propagate the same way
+/// (paper §5.2.2).
+class Operator {
+ public:
+  explicit Operator(const OpDesc* desc) : desc_(desc) {}
+  virtual ~Operator() = default;
+
+  const OpDesc* desc() const { return desc_; }
+  void AddChild(Operator* child) { children_.push_back(child); }
+
+  /// Called once per task before any rows.
+  virtual Status Init(TaskContext* ctx);
+  virtual Status Process(const Row& row, int tag) = 0;
+  virtual Status StartGroup();
+  virtual Status EndGroup();
+  /// End of task: flush state, then propagate.
+  virtual Status Finish();
+
+ protected:
+  Status ForwardRow(const Row& row, int tag = 0) {
+    for (Operator* child : children_) {
+      MINIHIVE_RETURN_IF_ERROR(child->Process(row, tag));
+    }
+    return Status::OK();
+  }
+
+  const OpDesc* desc_;
+  std::vector<Operator*> children_;
+  TaskContext* ctx_ = nullptr;
+  bool init_done_ = false;
+};
+
+/// Owns the runtime operators of one task's pipeline.
+class OperatorArena {
+ public:
+  Operator* Add(std::unique_ptr<Operator> op) {
+    operators_.push_back(std::move(op));
+    return operators_.back().get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Operator>> operators_;
+};
+
+/// Instantiates the runtime tree for the plan subtree rooted at `desc`.
+/// Shared descriptors (DAG joins like Mux) become one runtime instance.
+/// Returns the runtime root. When `built` is non-null, every descriptor's
+/// runtime instance is recorded there (testing/debug hook; Mux descriptors
+/// map to the shared core, not the per-edge proxies).
+Result<Operator*> BuildOperatorTree(
+    const OpDesc* desc, OperatorArena* arena,
+    std::unordered_map<const OpDesc*, Operator*>* built = nullptr);
+
+/// Builds the hash tables for one MapJoin descriptor by scanning its small
+/// tables (Hive's local task). `resolve` maps a table name to its storage
+/// (paths / format / schema); supplied by the query layer.
+struct SmallTableSource {
+  std::vector<std::string> paths;
+  formats::FormatKind format = formats::FormatKind::kTextFile;
+  TypePtr schema;
+};
+using TableResolver =
+    std::function<Result<SmallTableSource>(const std::string&)>;
+
+Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
+    dfs::FileSystem* fs, const OpDesc& desc, const TableResolver& resolve);
+
+}  // namespace minihive::exec
+
+#endif  // MINIHIVE_EXEC_OPERATORS_H_

@@ -1,0 +1,80 @@
+#ifndef MINIHIVE_FORMATS_FORMAT_H_
+#define MINIHIVE_FORMATS_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "dfs/file_system.h"
+
+namespace minihive::orc {
+class SearchArgument;  // Defined in orc/sarg.h; only ORC honours it.
+}  // namespace minihive::orc
+
+namespace minihive::formats {
+
+/// Identifies a storage format in the catalog and the task runtime.
+enum class FormatKind { kTextFile, kSequenceFile, kRcFile, kOrcFile };
+
+const char* FormatKindName(FormatKind kind);
+
+/// Options shared by all file writers.
+struct WriterOptions {
+  codec::CompressionKind compression = codec::CompressionKind::kNone;
+};
+
+/// How a reader should scan (a split of) a file.
+struct ReadOptions {
+  /// Top-level column indexes to materialize; empty = all columns.
+  std::vector<int> projected_columns;
+  /// Byte range of the split: a record/unit *starting* in
+  /// [split_offset, split_offset + split_length) belongs to this split
+  /// (HDFS input-split semantics). split_length == 0 means the whole file.
+  uint64_t split_offset = 0;
+  uint64_t split_length = 0;
+  /// Simulated datanode id of the reading task for locality accounting.
+  int reader_host = -1;
+  /// Predicate pushed down to the reader. Only ORC uses it (paper §4.2);
+  /// other formats ignore it.
+  const orc::SearchArgument* sarg = nullptr;
+};
+
+/// Appends rows to one file; Close() finalizes the file.
+class FileWriter {
+ public:
+  virtual ~FileWriter() = default;
+  virtual Status AddRow(const Row& row) = 0;
+  virtual Status Close() = 0;
+};
+
+/// Sequential row reader over one file split.
+class RowReader {
+ public:
+  virtual ~RowReader() = default;
+  /// Fills *row and returns true, or returns false at end of split.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Factory interface implemented by each format.
+class FileFormat {
+ public:
+  virtual ~FileFormat() = default;
+  virtual FormatKind kind() const = 0;
+  virtual Result<std::unique_ptr<FileWriter>> CreateWriter(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const WriterOptions& options) const = 0;
+  virtual Result<std::unique_ptr<RowReader>> OpenReader(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const ReadOptions& options) const = 0;
+};
+
+/// Returns the singleton implementation for `kind`.
+const FileFormat* GetFileFormat(FormatKind kind);
+
+}  // namespace minihive::formats
+
+#endif  // MINIHIVE_FORMATS_FORMAT_H_

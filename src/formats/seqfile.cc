@@ -1,0 +1,274 @@
+#include "formats/seqfile.h"
+
+#include "common/bytes.h"
+#include "serde/serde.h"
+
+namespace minihive::formats {
+
+namespace {
+
+constexpr char kMagic[] = "MINISEQ1";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kSyncMarkerLen = 16;
+constexpr uint64_t kSyncInterval = 64 * 1024;
+constexpr size_t kWriteBufferSize = 1 << 20;
+constexpr uint64_t kReadChunk = 4 << 20;
+
+/// Deterministic per-file sync marker.
+std::string MakeSyncMarker(const std::string& path) {
+  std::string marker;
+  uint64_t h = std::hash<std::string>{}(path) | 1;
+  for (size_t i = 0; i < kSyncMarkerLen; ++i) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    marker.push_back(static_cast<char>(h >> 56));
+  }
+  return marker;
+}
+
+class SeqFileWriter : public FileWriter {
+ public:
+  SeqFileWriter(std::unique_ptr<dfs::WritableFile> file, TypePtr schema,
+                std::string sync_marker)
+      : file_(std::move(file)),
+        schema_(schema),
+        serde_(schema == nullptr ? TypeDescription::CreateStruct()
+                                 : std::move(schema)),
+        sync_marker_(std::move(sync_marker)) {
+    buffer_.append(kMagic, kMagicLen);
+    buffer_.append(sync_marker_);
+  }
+
+  Status AddRow(const Row& row) override {
+    if (BytesSinceSync() >= kSyncInterval) {
+      // A record length of 0 announces a sync marker.
+      PutVarint64(&buffer_, 0);
+      buffer_.append(sync_marker_);
+      last_sync_ = file_->Size() + buffer_.size();
+    }
+    record_.clear();
+    if (schema_ == nullptr) {
+      // Schema-less (intermediate) files use the self-describing codec.
+      serde::VariantEncodeRow(row, &record_);
+    } else {
+      MINIHIVE_RETURN_IF_ERROR(serde_.Serialize(row, &record_));
+    }
+    PutVarint64(&buffer_, record_.size());
+    buffer_.append(record_);
+    if (buffer_.size() >= kWriteBufferSize) return Flush();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    MINIHIVE_RETURN_IF_ERROR(Flush());
+    return file_->Close();
+  }
+
+ private:
+  uint64_t BytesSinceSync() const {
+    return file_->Size() + buffer_.size() - last_sync_;
+  }
+
+  Status Flush() {
+    if (buffer_.empty()) return Status::OK();
+    MINIHIVE_RETURN_IF_ERROR(file_->Append(buffer_));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  std::unique_ptr<dfs::WritableFile> file_;
+  TypePtr schema_;  // Null => variant-coded rows.
+  serde::BinarySerDe serde_;
+  std::string sync_marker_;
+  std::string buffer_;
+  std::string record_;
+  uint64_t last_sync_ = 0;
+};
+
+class SeqFileReader : public RowReader {
+ public:
+  SeqFileReader(std::shared_ptr<dfs::ReadableFile> file, TypePtr schema,
+                std::string sync_marker, const ReadOptions& options)
+      : file_(std::move(file)),
+        schema_(schema),
+        serde_(schema == nullptr ? TypeDescription::CreateStruct()
+                                 : std::move(schema)),
+        sync_marker_(std::move(sync_marker)),
+        projected_(options.projected_columns),
+        reader_host_(options.reader_host) {
+    uint64_t file_size = file_->Size();
+    split_end_ = options.split_length == 0
+                     ? file_size
+                     : std::min(file_size,
+                                options.split_offset + options.split_length);
+    pos_ = options.split_offset;
+    needs_sync_ = pos_ > 0;
+    if (pos_ == 0) skip_header_ = true;
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (!initialized_) {
+      MINIHIVE_RETURN_IF_ERROR(Initialize());
+      initialized_ = true;
+      if (done_) return false;
+    }
+    // Ownership rule: the run of records between two sync markers belongs to
+    // the split containing the *marker start* that opens the run; a reader
+    // therefore reads past split_end_ until the next marker. This mirrors
+    // Hadoop's SequenceFile split handling and guarantees exactly-once reads.
+    while (true) {
+      if (done_ || AtEof()) {
+        done_ = true;
+        return false;
+      }
+      uint64_t record_len;
+      MINIHIVE_RETURN_IF_ERROR(ReadVarint(&record_len));
+      if (record_len == 0) {
+        uint64_t marker_start = Position();
+        if (marker_start >= split_end_) {
+          done_ = true;
+          return false;
+        }
+        MINIHIVE_RETURN_IF_ERROR(SkipBytes(kSyncMarkerLen));
+        continue;
+      }
+      std::string record;
+      MINIHIVE_RETURN_IF_ERROR(ReadBytes(record_len, &record));
+      if (schema_ == nullptr) {
+        MINIHIVE_RETURN_IF_ERROR(serde::VariantDecodeRow(record, row));
+      } else {
+        MINIHIVE_RETURN_IF_ERROR(serde_.Deserialize(record, projected_, row));
+      }
+      return true;
+    }
+  }
+
+ private:
+  Status Initialize() {
+    if (skip_header_) {
+      MINIHIVE_RETURN_IF_ERROR(SkipBytes(kMagicLen + kSyncMarkerLen));
+      return Status::OK();
+    }
+    if (needs_sync_) return ScanToSync();
+    return Status::OK();
+  }
+
+  /// Scans forward from pos_ for the first sync marker whose start is at or
+  /// after pos_; positions the reader just after it. A marker straddling the
+  /// split start is deliberately not matched (it belongs to the prior split).
+  Status ScanToSync() {
+    std::string window;
+    uint64_t window_base = pos_;
+    uint64_t scan_pos = pos_;
+    uint64_t file_size = file_->Size();
+    while (scan_pos < file_size) {
+      uint64_t n = std::min<uint64_t>(kReadChunk, file_size - scan_pos);
+      std::string chunk;
+      MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(scan_pos, n, &chunk, reader_host_));
+      scan_pos += n;
+      window += chunk;
+      size_t found = window.find(sync_marker_);
+      if (found != std::string::npos) {
+        uint64_t marker_pos = window_base + found;
+        if (marker_pos >= split_end_) {
+          done_ = true;
+          return Status::OK();
+        }
+        pos_ = marker_pos + kSyncMarkerLen;
+        chunk_.clear();
+        chunk_pos_ = 0;
+        chunk_offset_ = pos_;
+        return Status::OK();
+      }
+      // Keep a marker-sized tail to catch markers straddling chunk reads.
+      if (window.size() > kSyncMarkerLen) {
+        window_base += window.size() - kSyncMarkerLen;
+        window.erase(0, window.size() - kSyncMarkerLen);
+      }
+    }
+    done_ = true;
+    return Status::OK();
+  }
+
+  uint64_t Position() const { return chunk_offset_ + chunk_pos_; }
+  bool AtEof() const { return Position() >= file_->Size(); }
+
+  Status EnsureBytes(size_t n) {
+    if (chunk_.size() - chunk_pos_ >= n) return Status::OK();
+    std::string rest = chunk_.substr(chunk_pos_);
+    chunk_offset_ += chunk_pos_;
+    chunk_ = std::move(rest);
+    chunk_pos_ = 0;
+    uint64_t read_from = chunk_offset_ + chunk_.size();
+    uint64_t want = std::max<uint64_t>(kReadChunk, n - chunk_.size());
+    want = std::min<uint64_t>(want, file_->Size() - read_from);
+    if (chunk_.size() + want < n) {
+      return Status::Corruption("truncated sequence file");
+    }
+    std::string more;
+    MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(read_from, want, &more, reader_host_));
+    chunk_ += more;
+    return Status::OK();
+  }
+
+  Status ReadVarint(uint64_t* value) {
+    // Varints are at most 10 bytes; ensure availability then decode.
+    size_t avail = std::min<uint64_t>(10, file_->Size() - Position());
+    MINIHIVE_RETURN_IF_ERROR(EnsureBytes(avail));
+    ByteReader reader(std::string_view(chunk_).substr(chunk_pos_));
+    MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(value));
+    chunk_pos_ += reader.position();
+    return Status::OK();
+  }
+
+  Status ReadBytes(size_t n, std::string* out) {
+    MINIHIVE_RETURN_IF_ERROR(EnsureBytes(n));
+    out->assign(chunk_, chunk_pos_, n);
+    chunk_pos_ += n;
+    return Status::OK();
+  }
+
+  Status SkipBytes(size_t n) {
+    MINIHIVE_RETURN_IF_ERROR(EnsureBytes(n));
+    chunk_pos_ += n;
+    return Status::OK();
+  }
+
+  std::shared_ptr<dfs::ReadableFile> file_;
+  TypePtr schema_;  // Null => variant-coded rows.
+  serde::BinarySerDe serde_;
+  std::string sync_marker_;
+  std::vector<int> projected_;
+  int reader_host_;
+  uint64_t split_end_ = 0;
+  uint64_t pos_ = 0;
+  bool needs_sync_ = false;
+  bool skip_header_ = false;
+  bool initialized_ = false;
+  bool done_ = false;
+  std::string chunk_;
+  size_t chunk_pos_ = 0;
+  uint64_t chunk_offset_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileWriter>> SequenceFileFormat::CreateWriter(
+    dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+    const WriterOptions& options) const {
+  (void)options;
+  MINIHIVE_ASSIGN_OR_RETURN(std::unique_ptr<dfs::WritableFile> file,
+                            fs->Create(path));
+  return std::unique_ptr<FileWriter>(new SeqFileWriter(
+      std::move(file), std::move(schema), MakeSyncMarker(path)));
+}
+
+Result<std::unique_ptr<RowReader>> SequenceFileFormat::OpenReader(
+    dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+    const ReadOptions& options) const {
+  MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<dfs::ReadableFile> file,
+                            fs->Open(path));
+  return std::unique_ptr<RowReader>(new SeqFileReader(
+      std::move(file), std::move(schema), MakeSyncMarker(path), options));
+}
+
+}  // namespace minihive::formats

@@ -1,0 +1,27 @@
+#ifndef MINIHIVE_FORMATS_SEQFILE_H_
+#define MINIHIVE_FORMATS_SEQFILE_H_
+
+#include "formats/format.h"
+
+namespace minihive::formats {
+
+/// Flat binary key/value file in the spirit of Hadoop SequenceFile: a
+/// header, then length-prefixed records (values encoded by BinarySerDe;
+/// keys are unused by Hive and omitted). A 16-byte sync marker is emitted
+/// roughly every 64 KB so readers can align to record boundaries inside a
+/// split. Row-by-row and data-type-agnostic — the pre-RCFile baseline the
+/// paper's §3 describes.
+class SequenceFileFormat : public FileFormat {
+ public:
+  FormatKind kind() const override { return FormatKind::kSequenceFile; }
+  Result<std::unique_ptr<FileWriter>> CreateWriter(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const WriterOptions& options) const override;
+  Result<std::unique_ptr<RowReader>> OpenReader(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const ReadOptions& options) const override;
+};
+
+}  // namespace minihive::formats
+
+#endif  // MINIHIVE_FORMATS_SEQFILE_H_

@@ -1,0 +1,27 @@
+#ifndef MINIHIVE_FORMATS_TEXTFILE_H_
+#define MINIHIVE_FORMATS_TEXTFILE_H_
+
+#include "formats/format.h"
+
+namespace minihive::formats {
+
+/// Plain-text format: one row per '\n'-terminated line, encoded by
+/// serde::TextSerDe. Split semantics: a reader owns the lines that *start*
+/// inside its byte range; a reader whose range starts mid-line skips to the
+/// next line boundary (classic Hadoop TextInputFormat behaviour).
+/// Compression options are ignored (Table 2 uses Text as the uncompressed
+/// reference point).
+class TextFileFormat : public FileFormat {
+ public:
+  FormatKind kind() const override { return FormatKind::kTextFile; }
+  Result<std::unique_ptr<FileWriter>> CreateWriter(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const WriterOptions& options) const override;
+  Result<std::unique_ptr<RowReader>> OpenReader(
+      dfs::FileSystem* fs, const std::string& path, TypePtr schema,
+      const ReadOptions& options) const override;
+};
+
+}  // namespace minihive::formats
+
+#endif  // MINIHIVE_FORMATS_TEXTFILE_H_

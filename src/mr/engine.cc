@@ -1,0 +1,233 @@
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace minihive::mr {
+
+namespace {
+
+struct ShuffleRecord {
+  Row key;
+  Row value;
+  int tag;
+};
+
+/// Compares by full key (honouring per-column sort direction), breaking
+/// ties by tag so a reduce group sees its sources in deterministic tag
+/// order (as Hive's shuffle does).
+struct ShuffleLess {
+  const std::vector<bool>* ascending;  // May be empty.
+  bool operator()(const ShuffleRecord& a, const ShuffleRecord& b) const {
+    size_t n = std::min(a.key.size(), b.key.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a.key[i].Compare(b.key[i]);
+      if (c != 0) {
+        bool asc = i >= ascending->size() || (*ascending)[i];
+        return asc ? c < 0 : c > 0;
+      }
+    }
+    if (a.key.size() != b.key.size()) return a.key.size() < b.key.size();
+    return a.tag < b.tag;
+  }
+};
+
+bool SameKey(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// Collects one map task's shuffle output, hash-partitioned.
+class PartitionedEmitter : public ShuffleEmitter {
+ public:
+  PartitionedEmitter(int num_partitions, JobCounters* counters)
+      : partitions_(num_partitions), counters_(counters) {}
+
+  Status Emit(Row key, Row value, int tag) override {
+    std::vector<int> all_cols(key.size());
+    for (size_t i = 0; i < key.size(); ++i) all_cols[i] = static_cast<int>(i);
+    uint64_t hash = HashRowOn(key, all_cols);
+    size_t partition = partitions_.empty() ? 0 : hash % partitions_.size();
+    counters_->map_output_records += 1;
+    counters_->shuffled_bytes += EstimateRowBytes(key) + EstimateRowBytes(value);
+    partitions_[partition].push_back(
+        {std::move(key), std::move(value), tag});
+    return Status::OK();
+  }
+
+  std::vector<std::vector<ShuffleRecord>>& partitions() { return partitions_; }
+
+ private:
+  std::vector<std::vector<ShuffleRecord>> partitions_;
+  JobCounters* counters_;
+};
+
+/// Runs `count` tasks on up to `workers` threads; collects the first error.
+Status RunParallel(int count, int workers,
+                   const std::function<Status(int)>& task) {
+  if (count == 0) return Status::OK();
+  workers = std::max(1, std::min(workers, count));
+  std::atomic<int> next{0};
+  std::mutex error_mutex;
+  Status first_error;
+  auto worker = [&]() {
+    while (true) {
+      int index = next.fetch_add(1);
+      if (index >= count) return;
+      Status status = task(index);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+      }
+    }
+  };
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < workers; ++i) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  return first_error;
+}
+
+}  // namespace
+
+Engine::Engine(dfs::FileSystem* fs, EngineOptions options)
+    : fs_(fs), options_(options) {}
+
+Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
+  if (options_.job_startup_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.job_startup_ms));
+  }
+  counters->map_tasks = static_cast<int>(job.splits.size());
+  counters->reduce_tasks = job.num_reducers;
+
+  // ---- Map phase.
+  Stopwatch map_watch;
+  int num_partitions = std::max(job.num_reducers, 1);
+  std::vector<std::unique_ptr<PartitionedEmitter>> emitters(job.splits.size());
+  Status status = RunParallel(
+      static_cast<int>(job.splits.size()), options_.num_workers,
+      [&](int index) -> Status {
+        ThreadCpuTimer cpu;
+        auto emitter =
+            std::make_unique<PartitionedEmitter>(num_partitions, counters);
+        std::unique_ptr<MapTask> task = job.map_factory();
+        Status s = task->Run(job.splits[index], index, emitter.get());
+        emitters[index] = std::move(emitter);
+        counters->cpu_nanos += cpu.ElapsedNanos();
+        return s;
+      });
+  MINIHIVE_RETURN_IF_ERROR(status);
+  counters->map_phase_millis = map_watch.ElapsedMillis();
+
+  if (job.num_reducers == 0) return Status::OK();
+  if (!job.reduce_factory) {
+    return Status::InvalidArgument("job has reducers but no reduce factory");
+  }
+
+  // ---- Shuffle + reduce phase (starts after the whole map phase).
+  Stopwatch reduce_watch;
+  status = RunParallel(
+      job.num_reducers, options_.num_workers, [&](int partition) -> Status {
+        ThreadCpuTimer cpu;
+        // Gather this partition's records from every map task and sort by
+        // (key, tag) — the sort-merge shuffle.
+        std::vector<ShuffleRecord> records;
+        size_t total = 0;
+        for (const auto& emitter : emitters) {
+          if (emitter) total += emitter->partitions()[partition].size();
+        }
+        records.reserve(total);
+        for (const auto& emitter : emitters) {
+          if (!emitter) continue;
+          auto& src = emitter->partitions()[partition];
+          std::move(src.begin(), src.end(), std::back_inserter(records));
+          src.clear();
+        }
+        std::sort(records.begin(), records.end(),
+                  ShuffleLess{&job.sort_ascending});
+        counters->reduce_input_records += records.size();
+
+        // Reducer Driver: push rows with group boundary signals.
+        std::unique_ptr<ReduceTask> task = job.reduce_factory(partition);
+        bool group_open = false;
+        const Row* current_key = nullptr;
+        for (const ShuffleRecord& record : records) {
+          if (!group_open || !SameKey(*current_key, record.key)) {
+            if (group_open) {
+              MINIHIVE_RETURN_IF_ERROR(task->EndGroup());
+            }
+            MINIHIVE_RETURN_IF_ERROR(task->StartGroup(record.key));
+            group_open = true;
+            current_key = &record.key;
+          }
+          MINIHIVE_RETURN_IF_ERROR(
+              task->Reduce(record.key, record.value, record.tag));
+        }
+        if (group_open) {
+          MINIHIVE_RETURN_IF_ERROR(task->EndGroup());
+        }
+        Status s = task->Finish();
+        counters->cpu_nanos += cpu.ElapsedNanos();
+        return s;
+      });
+  MINIHIVE_RETURN_IF_ERROR(status);
+  counters->reduce_phase_millis = reduce_watch.ElapsedMillis();
+  return Status::OK();
+}
+
+std::vector<InputSplit> ComputeSplits(dfs::FileSystem* fs,
+                                      const std::vector<std::string>& paths,
+                                      uint64_t split_size, int source_tag) {
+  std::vector<InputSplit> splits;
+  for (const std::string& path : paths) {
+    auto size_result = fs->FileSize(path);
+    if (!size_result.ok()) continue;
+    uint64_t size = *size_result;
+    if (size == 0) continue;
+    auto file_result = fs->Open(path);
+    for (uint64_t offset = 0; offset < size; offset += split_size) {
+      InputSplit split;
+      split.path = path;
+      split.offset = offset;
+      split.length = std::min(split_size, size - offset);
+      split.source_tag = source_tag;
+      if (file_result.ok()) {
+        auto locations = (*file_result)->GetBlockLocations(offset, 1);
+        if (!locations.empty() && !locations[0].hosts.empty()) {
+          split.locality_host = locations[0].hosts[0];
+        }
+      }
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+uint64_t EstimateRowBytes(const Row& row) {
+  uint64_t total = 0;
+  for (const Value& v : row) {
+    if (v.is_null()) {
+      total += 1;
+    } else if (v.is_int() || v.is_double()) {
+      total += 8;
+    } else if (v.is_string()) {
+      total += 4 + v.AsString().size();
+    } else {
+      total += 16;  // Complex values: coarse estimate.
+    }
+  }
+  return total;
+}
+
+}  // namespace minihive::mr

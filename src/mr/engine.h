@@ -1,0 +1,160 @@
+#ifndef MINIHIVE_MR_ENGINE_H_
+#define MINIHIVE_MR_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "dfs/file_system.h"
+
+namespace minihive::mr {
+
+/// One unit of map input: a byte range of one file, with a locality hint
+/// (the datanode holding its first block) and the tag of the logical input
+/// it came from (which table / which ReduceSink source).
+struct InputSplit {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  int locality_host = -1;
+  /// Identifies the logical source so a multi-input map task knows which
+  /// operator pipeline to run (Hive tags map inputs the same way).
+  int source_tag = 0;
+};
+
+/// Aggregate job counters, mirroring the metrics the paper reports:
+/// elapsed time per phase and cumulative task CPU time (Figure 12b).
+struct JobCounters {
+  std::atomic<uint64_t> map_input_records{0};
+  std::atomic<uint64_t> map_output_records{0};
+  std::atomic<uint64_t> reduce_input_records{0};
+  std::atomic<uint64_t> shuffled_bytes{0};
+  std::atomic<int64_t> cpu_nanos{0};
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+  double map_phase_millis = 0;
+  double reduce_phase_millis = 0;
+
+  JobCounters() = default;
+  // Copyable despite the atomics (snapshot semantics) so results structs
+  // can carry counters by value.
+  JobCounters(const JobCounters& other) { *this = other; }
+  JobCounters& operator=(const JobCounters& other) {
+    map_input_records = other.map_input_records.load();
+    map_output_records = other.map_output_records.load();
+    reduce_input_records = other.reduce_input_records.load();
+    shuffled_bytes = other.shuffled_bytes.load();
+    cpu_nanos = other.cpu_nanos.load();
+    map_tasks = other.map_tasks;
+    reduce_tasks = other.reduce_tasks;
+    map_phase_millis = other.map_phase_millis;
+    reduce_phase_millis = other.reduce_phase_millis;
+    return *this;
+  }
+
+  double cpu_millis() const { return cpu_nanos.load() / 1e6; }
+
+  void AccumulateInto(JobCounters* total) const {
+    total->map_input_records += map_input_records.load();
+    total->map_output_records += map_output_records.load();
+    total->reduce_input_records += reduce_input_records.load();
+    total->shuffled_bytes += shuffled_bytes.load();
+    total->cpu_nanos += cpu_nanos.load();
+    total->map_tasks += map_tasks;
+    total->reduce_tasks += reduce_tasks;
+    total->map_phase_millis += map_phase_millis;
+    total->reduce_phase_millis += reduce_phase_millis;
+  }
+};
+
+/// Map tasks emit (key, value, tag) triples into the shuffle.
+class ShuffleEmitter {
+ public:
+  virtual ~ShuffleEmitter() = default;
+  virtual Status Emit(Row key, Row value, int tag) = 0;
+};
+
+/// User map logic: reads its split (through whatever reader the query layer
+/// wires up) and either emits shuffle records or writes final output
+/// (map-only jobs).
+class MapTask {
+ public:
+  virtual ~MapTask() = default;
+  /// `task_index` is the map task number (used e.g. for output file names).
+  virtual Status Run(const InputSplit& split, int task_index,
+                     ShuffleEmitter* emitter) = 0;
+};
+
+/// User reduce logic, driven push-style by the engine's Reducer Driver:
+/// rows arrive key-group by key-group, exactly as Hive's push model
+/// delivers them (paper §5.2.2 "Operator Coordination" relies on these
+/// signals).
+class ReduceTask {
+ public:
+  virtual ~ReduceTask() = default;
+  virtual Status StartGroup(const Row& key) = 0;
+  virtual Status Reduce(const Row& key, const Row& value, int tag) = 0;
+  virtual Status EndGroup() = 0;
+  /// Called once after the last group (flush output).
+  virtual Status Finish() = 0;
+};
+
+using MapTaskFactory = std::function<std::unique_ptr<MapTask>()>;
+/// Invoked once per reduce task with its partition index.
+using ReduceTaskFactory = std::function<std::unique_ptr<ReduceTask>(int)>;
+
+struct JobConfig {
+  std::string name;
+  std::vector<InputSplit> splits;
+  /// 0 = map-only job.
+  int num_reducers = 0;
+  MapTaskFactory map_factory;
+  ReduceTaskFactory reduce_factory;  // Required when num_reducers > 0.
+  /// Shuffle sort direction per key column (empty = all ascending).
+  std::vector<bool> sort_ascending;
+};
+
+struct EngineOptions {
+  /// Concurrent task slots (the paper's cluster ran 3 per node).
+  int num_workers = 2;
+  /// Simulated per-job startup latency (Hadoop job scheduling + JVM launch;
+  /// tens of seconds on the paper's cluster). 0 disables it; benches that
+  /// compare job counts set a scaled-down value.
+  int job_startup_ms = 0;
+};
+
+/// An in-process MapReduce engine: runs map tasks over input splits, hash
+/// partitions and sorts (key, tag) shuffle records, then drives reduce
+/// tasks push-style with group signals. The reduce phase starts only after
+/// the whole map phase finishes (matching the paper's Hadoop config).
+class Engine {
+ public:
+  explicit Engine(dfs::FileSystem* fs, EngineOptions options = EngineOptions());
+
+  Status RunJob(const JobConfig& job, JobCounters* counters);
+
+  dfs::FileSystem* fs() { return fs_; }
+
+ private:
+  dfs::FileSystem* fs_;
+  EngineOptions options_;
+};
+
+/// Computes input splits for a set of files: one split per `split_size`
+/// bytes, with locality set to the first block's first replica.
+std::vector<InputSplit> ComputeSplits(dfs::FileSystem* fs,
+                                      const std::vector<std::string>& paths,
+                                      uint64_t split_size, int source_tag);
+
+/// Rough serialized size of a row (shuffle byte accounting).
+uint64_t EstimateRowBytes(const Row& row);
+
+}  // namespace minihive::mr
+
+#endif  // MINIHIVE_MR_ENGINE_H_

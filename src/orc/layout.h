@@ -1,0 +1,122 @@
+#ifndef MINIHIVE_ORC_LAYOUT_H_
+#define MINIHIVE_ORC_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "orc/statistics.h"
+
+namespace minihive::orc {
+
+/// File layout (paper Figure 2):
+///
+///   magic | stripe* | metadata | file footer | postscript | ps_len(1 byte)
+///
+/// and per stripe:
+///
+///   index data | data streams | stripe footer
+///
+/// The postscript is never compressed and is located by reading the last
+/// byte of the file; the footer and metadata sections are compressed with
+/// the file's codec. Index data holds position pointers (per-stream segment
+/// offsets per index group) and index-group statistics; the stripe footer
+/// holds the stream directory, column encodings, and per-group value counts.
+
+inline constexpr char kOrcMagic[] = "MINIORC1";
+inline constexpr size_t kOrcMagicLen = 8;
+
+enum class StreamKind : uint8_t {
+  kPresent = 0,         // Bit field: non-null flags (omitted when no nulls).
+  kData = 1,            // Main values (encoding depends on column type).
+  kLength = 2,          // Int RLE: string lengths or array/map sizes.
+  kDictionaryData = 3,  // Byte stream: concatenated dictionary entries.
+  kDictionaryLength = 4,  // Int RLE: dictionary entry lengths.
+};
+
+/// Dictionary streams are stripe-scoped (one segment for the whole stripe);
+/// all other streams are segmented per index group.
+inline bool IsStripeScoped(StreamKind kind) {
+  return kind == StreamKind::kDictionaryData ||
+         kind == StreamKind::kDictionaryLength;
+}
+
+enum class ColumnEncoding : uint8_t { kDirect = 0, kDictionary = 1 };
+
+struct StreamInfo {
+  uint32_t column = 0;  // Column id in the file schema's column tree.
+  StreamKind kind = StreamKind::kData;
+  uint64_t length = 0;  // On-disk (compressed) bytes.
+};
+
+/// Stripe footer: stream directory, column encodings, and per-column
+/// per-group (instance, non-null) value counts. The counts live here — not
+/// in the index — so a reader that ignores indexes entirely (PPD off) can
+/// still decode streams sequentially.
+struct StripeFooter {
+  std::vector<StreamInfo> streams;
+  std::vector<ColumnEncoding> encodings;      // Per column id.
+  std::vector<uint32_t> dictionary_sizes;     // Per column id (0 if none).
+  uint32_t num_groups = 0;
+  // counts[column][group]
+  std::vector<std::vector<uint64_t>> instance_counts;
+  std::vector<std::vector<uint64_t>> nonnull_counts;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(std::string_view data, StripeFooter* footer);
+};
+
+/// Index data for one stripe: per-stream segment end offsets (cumulative,
+/// relative to the stream start — the paper's "position pointers") and
+/// per-column per-group statistics.
+struct StripeIndex {
+  // segment_ends[stream_index][group]; stripe-scoped streams have 1 entry.
+  std::vector<std::vector<uint64_t>> segment_ends;
+  // group_stats[column][group]
+  std::vector<std::vector<ColumnStatistics>> group_stats;
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(std::string_view data, StripeIndex* index);
+};
+
+struct StripeInformation {
+  uint64_t offset = 0;
+  uint64_t index_length = 0;
+  uint64_t data_length = 0;
+  uint64_t footer_length = 0;
+  uint64_t num_rows = 0;
+};
+
+/// Everything read from the end of an ORC file at open time.
+struct FileTail {
+  TypePtr schema;  // Root struct with column ids assigned.
+  uint64_t num_rows = 0;
+  std::vector<StripeInformation> stripes;
+  std::vector<ColumnStatistics> file_stats;                 // Per column id.
+  std::vector<std::vector<ColumnStatistics>> stripe_stats;  // [stripe][col].
+  codec::CompressionKind compression = codec::CompressionKind::kNone;
+  uint64_t compression_unit = codec::kDefaultCompressionUnitSize;
+  uint64_t row_index_stride = 10000;
+  /// Total bytes of the tail (metadata + footer + postscript + length byte),
+  /// i.e. the fixed open-time read cost.
+  uint64_t tail_length = 0;
+};
+
+/// Serializes the footer & metadata sections (pre-compression bytes).
+void SerializeFileFooter(const FileTail& tail, std::string* out);
+void SerializeFileMetadata(const FileTail& tail, std::string* out);
+Status DeserializeFileFooter(std::string_view data, FileTail* tail);
+Status DeserializeFileMetadata(std::string_view data, FileTail* tail);
+
+/// The streams used to store a column of the given type, in file order
+/// (present first when needed).
+std::vector<StreamKind> StreamsForColumn(TypeKind kind, bool has_nulls,
+                                         ColumnEncoding encoding);
+
+}  // namespace minihive::orc
+
+#endif  // MINIHIVE_ORC_LAYOUT_H_

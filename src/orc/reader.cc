@@ -1,0 +1,883 @@
+#include "orc/reader.h"
+
+#include <algorithm>
+#include <map>
+
+#include "orc/stream_encoding.h"
+
+namespace minihive::orc {
+
+namespace {
+
+/// A maximal run of consecutive selected index groups [first, last].
+struct GroupRun {
+  uint32_t first;
+  uint32_t last;
+};
+
+/// Reads one stream of one stripe. Two modes:
+///  - full: the entire stream is fetched and decompressed at init; groups
+///    are decoded strictly in order with persistent decoders (no index data
+///    required — per-group value counts come from the stripe footer);
+///  - ppd: group byte ranges come from the row index; runs of consecutive
+///    selected groups are fetched with one positional read, and each group
+///    is decompressed and decoded with fresh decoders (encoders restart at
+///    group boundaries, so a group is independently decodable).
+class StreamReader {
+ public:
+  Status InitFull(dfs::ReadableFile* file, uint64_t file_start,
+                  uint64_t length, const codec::Codec* codec, int host) {
+    full_mode_ = true;
+    file_start_ = file_start;
+    codec_ = codec;
+    std::string stored;
+    if (length > 0) {
+      MINIHIVE_RETURN_IF_ERROR(file->ReadAt(file_start, length, &stored, host));
+    }
+    raw_.clear();
+    MINIHIVE_RETURN_IF_ERROR(codec::DecompressUnits(codec, stored, &raw_));
+    ResetDecoders();
+    return Status::OK();
+  }
+
+  void InitPpd(dfs::ReadableFile* file, uint64_t file_start,
+               const std::vector<uint64_t>* segment_ends,
+               const std::vector<GroupRun>* runs, const codec::Codec* codec,
+               int host) {
+    full_mode_ = false;
+    file_ = file;
+    file_start_ = file_start;
+    seg_ends_ = segment_ends;
+    runs_ = runs;
+    codec_ = codec;
+    host_ = host;
+    run_valid_ = false;
+  }
+
+  /// Prepares decoding of group `g`. In full mode groups must be visited in
+  /// increasing order; this just realigns the bit decoder.
+  Status StartGroup(uint32_t g) {
+    if (full_mode_) {
+      if (bit_dec_ != nullptr) bit_dec_->AlignToByte();
+      return Status::OK();
+    }
+    uint64_t seg_start = g == 0 ? 0 : (*seg_ends_)[g - 1];
+    uint64_t seg_end = (*seg_ends_)[g];
+    if (!run_valid_ || g < run_first_ || g > run_last_) {
+      MINIHIVE_RETURN_IF_ERROR(FetchRun(g));
+    }
+    std::string_view slice =
+        std::string_view(run_buf_)
+            .substr(seg_start - run_base_, seg_end - seg_start);
+    raw_.clear();
+    MINIHIVE_RETURN_IF_ERROR(codec::DecompressUnits(codec_, slice, &raw_));
+    ResetDecoders();
+    return Status::OK();
+  }
+
+  Status ReadBits(uint64_t n, std::vector<uint8_t>* out) {
+    if (bit_dec_ == nullptr) {
+      bit_dec_ = std::make_unique<BitFieldDecoder>(raw_);
+    }
+    out->resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      bool v;
+      MINIHIVE_RETURN_IF_ERROR(bit_dec_->Next(&v));
+      (*out)[i] = v ? 1 : 0;
+    }
+    return Status::OK();
+  }
+
+  Status ReadInts(uint64_t n, std::vector<int64_t>* out) {
+    if (int_dec_ == nullptr) {
+      int_dec_ = std::make_unique<IntRleDecoder>(raw_);
+    }
+    out->resize(n);
+    return int_dec_->NextBatch(out->data(), n);
+  }
+
+  Status ReadRleBytes(uint64_t n, std::vector<uint8_t>* out) {
+    if (byte_dec_ == nullptr) {
+      byte_dec_ = std::make_unique<RunLengthByteDecoder>(raw_);
+    }
+    out->resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      MINIHIVE_RETURN_IF_ERROR(byte_dec_->Next(&(*out)[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Appends the next n raw bytes to *out.
+  Status ReadRaw(uint64_t n, std::string* out) {
+    if (raw_cursor_ + n > raw_.size()) {
+      return Status::Corruption("raw stream exhausted");
+    }
+    out->append(raw_, raw_cursor_, n);
+    raw_cursor_ += n;
+    return Status::OK();
+  }
+
+  const std::string& raw() const { return raw_; }
+
+ private:
+  void ResetDecoders() {
+    raw_cursor_ = 0;
+    int_dec_.reset();
+    byte_dec_.reset();
+    bit_dec_.reset();
+  }
+
+  Status FetchRun(uint32_t g) {
+    // Find the run containing g.
+    const GroupRun* run = nullptr;
+    for (const GroupRun& r : *runs_) {
+      if (g >= r.first && g <= r.last) {
+        run = &r;
+        break;
+      }
+    }
+    if (run == nullptr) return Status::Internal("group not in any run");
+    uint64_t start = run->first == 0 ? 0 : (*seg_ends_)[run->first - 1];
+    uint64_t end = (*seg_ends_)[run->last];
+    run_buf_.clear();
+    if (end > start) {
+      MINIHIVE_RETURN_IF_ERROR(
+          file_->ReadAt(file_start_ + start, end - start, &run_buf_, host_));
+    }
+    run_base_ = start;
+    run_first_ = run->first;
+    run_last_ = run->last;
+    run_valid_ = true;
+    return Status::OK();
+  }
+
+  bool full_mode_ = true;
+  dfs::ReadableFile* file_ = nullptr;
+  uint64_t file_start_ = 0;
+  const codec::Codec* codec_ = nullptr;
+  int host_ = -1;
+  const std::vector<uint64_t>* seg_ends_ = nullptr;
+  const std::vector<GroupRun>* runs_ = nullptr;
+
+  std::string raw_;
+  size_t raw_cursor_ = 0;
+  std::unique_ptr<IntRleDecoder> int_dec_;
+  std::unique_ptr<RunLengthByteDecoder> byte_dec_;
+  std::unique_ptr<BitFieldDecoder> bit_dec_;
+
+  std::string run_buf_;
+  uint64_t run_base_ = 0;
+  uint32_t run_first_ = 0;
+  uint32_t run_last_ = 0;
+  bool run_valid_ = false;
+};
+
+/// Reader-side column tree node holding stripe streams and the current
+/// decoded group.
+struct ColumnNode {
+  const TypeDescription* type = nullptr;
+  int column_id = 0;
+  bool needed = false;
+  std::vector<std::unique_ptr<ColumnNode>> children;
+
+  // Per-stripe state.
+  ColumnEncoding encoding = ColumnEncoding::kDirect;
+  std::vector<std::string> dict;
+  std::unique_ptr<StreamReader> present_stream;
+  std::unique_ptr<StreamReader> data_stream;
+  std::unique_ptr<StreamReader> length_stream;
+
+  // Current decoded group.
+  std::vector<uint8_t> present;  // Empty => no nulls in group.
+  std::vector<int64_t> ints;     // Data ints / lengths / dictionary ids.
+  std::vector<double> doubles;
+  std::vector<uint8_t> bytes;    // TinyInt values / union tags.
+  std::string arena;             // Direct string bytes.
+  std::vector<std::pair<uint64_t, uint32_t>> str_spans;  // (offset, len).
+  uint64_t instance_count = 0;
+  uint64_t nonnull_count = 0;
+  size_t inst_cur = 0;
+  size_t nn_cur = 0;
+
+  void Build(const TypeDescription* t) {
+    type = t;
+    column_id = t->column_id();
+    for (const TypePtr& child : t->children()) {
+      auto node = std::make_unique<ColumnNode>();
+      node->Build(child.get());
+      children.push_back(std::move(node));
+    }
+  }
+
+  void MarkNeeded() {
+    needed = true;
+    for (auto& child : children) child->MarkNeeded();
+  }
+
+  void Flatten(std::vector<ColumnNode*>* out) {
+    out->push_back(this);
+    for (auto& child : children) child->Flatten(out);
+  }
+};
+
+}  // namespace
+
+class OrcReader::Impl {
+ public:
+  Impl(dfs::FileSystem* fs, std::shared_ptr<dfs::ReadableFile> file,
+       OrcReadOptions options)
+      : fs_(fs), file_(std::move(file)), options_(std::move(options)) {}
+
+  Status Open() {
+    MINIHIVE_RETURN_IF_ERROR(ReadTail());
+    root_.Build(tail_.schema.get());
+    // Mark needed columns.
+    root_.needed = true;
+    if (options_.projected_fields.empty()) {
+      for (auto& child : root_.children) child->MarkNeeded();
+      for (size_t i = 0; i < root_.children.size(); ++i) {
+        projected_.push_back(static_cast<int>(i));
+      }
+    } else {
+      projected_ = options_.projected_fields;
+      for (int field : projected_) {
+        if (field < 0 ||
+            static_cast<size_t>(field) >= root_.children.size()) {
+          return Status::InvalidArgument("projected field out of range");
+        }
+        root_.children[field]->MarkNeeded();
+      }
+    }
+    // Select stripes: split ownership by starting offset, then SARG pruning
+    // against stripe-level statistics (paper §4.2).
+    uint64_t split_end = options_.split_length == 0
+                             ? UINT64_MAX
+                             : options_.split_offset + options_.split_length;
+    bool sarg_active = options_.use_index && options_.sarg != nullptr &&
+                       !options_.sarg->empty();
+    for (size_t s = 0; s < tail_.stripes.size(); ++s) {
+      const StripeInformation& stripe = tail_.stripes[s];
+      if (stripe.offset < options_.split_offset || stripe.offset >= split_end) {
+        continue;
+      }
+      if (sarg_active &&
+          options_.sarg->CanSkip(TopLevelStats(tail_.stripe_stats[s]))) {
+        ++stripes_skipped_;
+        continue;
+      }
+      selected_stripes_.push_back(s);
+    }
+    return Status::OK();
+  }
+
+  const FileTail& tail() const { return tail_; }
+
+  Result<bool> NextRow(Row* row) {
+    MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
+    if (done_) return false;
+    row->assign(root_.children.size(), Value::Null());
+    for (int field : projected_) {
+      MINIHIVE_RETURN_IF_ERROR(
+          ReconstructValue(root_.children[field].get(), &(*row)[field]));
+    }
+    ++rows_in_group_cursor_;
+    return true;
+  }
+
+  Result<std::unique_ptr<vec::VectorizedRowBatch>> CreateBatch() const {
+    auto batch = std::make_unique<vec::VectorizedRowBatch>(options_.batch_size);
+    for (int field : projected_) {
+      const TypeDescription* t = root_.children[field]->type;
+      if (!IsPrimitive(t->kind())) {
+        return Status::InvalidArgument(
+            "vectorized reading requires primitive columns");
+      }
+      batch->AddColumn(t->kind());
+    }
+    return batch;
+  }
+
+  Result<bool> NextBatch(vec::VectorizedRowBatch* batch) {
+    batch->Reset();
+    MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
+    if (done_) return false;
+    uint64_t avail = current_group_rows_ - rows_in_group_cursor_;
+    int n = static_cast<int>(
+        std::min<uint64_t>(avail, static_cast<uint64_t>(batch->capacity())));
+    for (size_t i = 0; i < projected_.size(); ++i) {
+      ColumnNode* node = root_.children[projected_[i]].get();
+      MINIHIVE_RETURN_IF_ERROR(FillVector(node, batch, static_cast<int>(i), n));
+    }
+    rows_in_group_cursor_ += n;
+    batch->size = n;
+    return true;
+  }
+
+  uint64_t stripes_read() const { return stripes_read_; }
+  uint64_t stripes_skipped() const { return stripes_skipped_; }
+  uint64_t groups_read() const { return groups_read_; }
+  uint64_t groups_skipped() const { return groups_skipped_; }
+
+  const std::vector<int>& projected() const { return projected_; }
+
+ private:
+  /// Reads postscript, footer and metadata from the file tail.
+  Status ReadTail() {
+    uint64_t size = file_->Size();
+    if (size < kOrcMagicLen + 2) return Status::Corruption("file too small");
+    // Read a generous tail chunk to cover ps_len + postscript.
+    uint64_t probe = std::min<uint64_t>(size, 256);
+    std::string tail_bytes;
+    MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(size - probe, probe, &tail_bytes,
+                                           options_.reader_host));
+    uint8_t ps_len = static_cast<uint8_t>(tail_bytes.back());
+    if (ps_len + 1 > static_cast<int>(tail_bytes.size())) {
+      return Status::Corruption("postscript larger than probe");
+    }
+    std::string_view postscript =
+        std::string_view(tail_bytes)
+            .substr(tail_bytes.size() - 1 - ps_len, ps_len);
+    ByteReader ps(postscript);
+    uint64_t footer_len, metadata_len;
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&footer_len));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&metadata_len));
+    uint8_t codec_byte;
+    MINIHIVE_RETURN_IF_ERROR(ps.GetByte(&codec_byte));
+    tail_.compression = static_cast<codec::CompressionKind>(codec_byte);
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.compression_unit));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.row_index_stride));
+    std::string_view magic;
+    MINIHIVE_RETURN_IF_ERROR(ps.GetBytes(kOrcMagicLen, &magic));
+    if (magic != std::string_view(kOrcMagic, kOrcMagicLen)) {
+      return Status::Corruption("bad ORC postscript magic");
+    }
+    codec_ = codec::GetCodec(tail_.compression);
+    tail_.tail_length = 1 + ps_len + footer_len + metadata_len;
+    if (tail_.tail_length > size) return Status::Corruption("bad tail length");
+
+    uint64_t footer_off = size - 1 - ps_len - footer_len;
+    std::string footer_stored;
+    MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(footer_off, footer_len,
+                                           &footer_stored,
+                                           options_.reader_host));
+    std::string footer_raw;
+    MINIHIVE_RETURN_IF_ERROR(
+        codec::DecompressUnits(codec_, footer_stored, &footer_raw));
+    MINIHIVE_RETURN_IF_ERROR(DeserializeFileFooter(footer_raw, &tail_));
+
+    uint64_t metadata_off = footer_off - metadata_len;
+    std::string metadata_stored;
+    MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(metadata_off, metadata_len,
+                                           &metadata_stored,
+                                           options_.reader_host));
+    std::string metadata_raw;
+    MINIHIVE_RETURN_IF_ERROR(
+        codec::DecompressUnits(codec_, metadata_stored, &metadata_raw));
+    return DeserializeFileMetadata(metadata_raw, &tail_);
+  }
+
+  /// Maps per-column-id statistics to per-top-level-field statistics for
+  /// SARG evaluation.
+  std::vector<ColumnStatistics> TopLevelStats(
+      const std::vector<ColumnStatistics>& by_column_id) const {
+    std::vector<ColumnStatistics> result;
+    for (const TypePtr& child : tail_.schema->children()) {
+      int id = child->column_id();
+      if (id >= 0 && static_cast<size_t>(id) < by_column_id.size()) {
+        result.push_back(by_column_id[id]);
+      } else {
+        result.push_back(ColumnStatistics());
+      }
+    }
+    return result;
+  }
+
+  /// Advances to the next group with rows remaining; loads stripes and
+  /// decodes groups as needed. Sets done_ at end of the split.
+  Status EnsureGroup() {
+    while (!done_ && rows_in_group_cursor_ >= current_group_rows_) {
+      if (stripe_loaded_ && group_iter_ < selected_groups_.size()) {
+        MINIHIVE_RETURN_IF_ERROR(DecodeGroup(selected_groups_[group_iter_++]));
+        continue;
+      }
+      if (stripe_iter_ >= selected_stripes_.size()) {
+        done_ = true;
+        return Status::OK();
+      }
+      MINIHIVE_RETURN_IF_ERROR(LoadStripe(selected_stripes_[stripe_iter_++]));
+    }
+    return Status::OK();
+  }
+
+  Status LoadStripe(size_t stripe_index) {
+    const StripeInformation& info = tail_.stripes[stripe_index];
+    ++stripes_read_;
+    // Stripe footer.
+    std::string footer_stored;
+    MINIHIVE_RETURN_IF_ERROR(
+        file_->ReadAt(info.offset + info.index_length + info.data_length,
+                      info.footer_length, &footer_stored,
+                      options_.reader_host));
+    std::string footer_raw;
+    MINIHIVE_RETURN_IF_ERROR(
+        codec::DecompressUnits(codec_, footer_stored, &footer_raw));
+    MINIHIVE_RETURN_IF_ERROR(
+        StripeFooter::Deserialize(footer_raw, &stripe_footer_));
+
+    bool sarg_active = options_.use_index && options_.sarg != nullptr &&
+                       !options_.sarg->empty();
+    ppd_mode_ = sarg_active;
+
+    // Group selection.
+    selected_groups_.clear();
+    group_runs_.clear();
+    if (sarg_active) {
+      // Row index: position pointers + per-group statistics.
+      std::string index_stored;
+      MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(info.offset, info.index_length,
+                                             &index_stored,
+                                             options_.reader_host));
+      std::string index_raw;
+      MINIHIVE_RETURN_IF_ERROR(
+          codec::DecompressUnits(codec_, index_stored, &index_raw));
+      MINIHIVE_RETURN_IF_ERROR(
+          StripeIndex::Deserialize(index_raw, &stripe_index_));
+      for (uint32_t g = 0; g < stripe_footer_.num_groups; ++g) {
+        std::vector<ColumnStatistics> field_stats;
+        for (const TypePtr& child : tail_.schema->children()) {
+          field_stats.push_back(
+              stripe_index_.group_stats[child->column_id()][g]);
+        }
+        if (options_.sarg->CanSkip(field_stats)) {
+          ++groups_skipped_;
+        } else {
+          selected_groups_.push_back(g);
+        }
+      }
+      // Maximal consecutive runs for coalesced fetching.
+      for (size_t i = 0; i < selected_groups_.size();) {
+        size_t j = i;
+        while (j + 1 < selected_groups_.size() &&
+               selected_groups_[j + 1] == selected_groups_[j] + 1) {
+          ++j;
+        }
+        group_runs_.push_back({selected_groups_[i], selected_groups_[j]});
+        i = j + 1;
+      }
+    } else {
+      for (uint32_t g = 0; g < stripe_footer_.num_groups; ++g) {
+        selected_groups_.push_back(g);
+      }
+    }
+    groups_read_ += selected_groups_.size();
+
+    // Wire up stream readers for needed columns.
+    std::vector<ColumnNode*> nodes;
+    root_.Flatten(&nodes);
+    for (ColumnNode* node : nodes) {
+      node->present_stream.reset();
+      node->data_stream.reset();
+      node->length_stream.reset();
+      node->dict.clear();
+      node->encoding = ColumnEncoding::kDirect;
+    }
+    uint64_t stream_start = info.offset + info.index_length;
+    for (size_t si = 0; si < stripe_footer_.streams.size(); ++si) {
+      const StreamInfo& s = stripe_footer_.streams[si];
+      ColumnNode* node = nodes[s.column];
+      uint64_t start = stream_start;
+      stream_start += s.length;
+      if (!node->needed) continue;
+      node->encoding = stripe_footer_.encodings[s.column];
+      auto stream = std::make_unique<StreamReader>();
+      if (IsStripeScoped(s.kind)) {
+        // Dictionary streams are always read whole.
+        MINIHIVE_RETURN_IF_ERROR(stream->InitFull(
+            file_.get(), start, s.length, codec_, options_.reader_host));
+      } else if (ppd_mode_) {
+        stream->InitPpd(file_.get(), start, &stripe_index_.segment_ends[si],
+                        &group_runs_, codec_, options_.reader_host);
+      } else {
+        MINIHIVE_RETURN_IF_ERROR(stream->InitFull(
+            file_.get(), start, s.length, codec_, options_.reader_host));
+      }
+      switch (s.kind) {
+        case StreamKind::kPresent:
+          node->present_stream = std::move(stream);
+          break;
+        case StreamKind::kData:
+          node->data_stream = std::move(stream);
+          break;
+        case StreamKind::kLength:
+          node->length_stream = std::move(stream);
+          break;
+        case StreamKind::kDictionaryData:
+          dict_data_tmp_[s.column] = std::move(stream);
+          break;
+        case StreamKind::kDictionaryLength:
+          dict_length_tmp_[s.column] = std::move(stream);
+          break;
+      }
+    }
+    // Decode dictionaries.
+    for (auto& [column, data_stream] : dict_data_tmp_) {
+      auto it = dict_length_tmp_.find(column);
+      if (it == dict_length_tmp_.end()) {
+        return Status::Corruption("dictionary data without lengths");
+      }
+      ColumnNode* node = nodes[column];
+      uint32_t dict_size = stripe_footer_.dictionary_sizes[column];
+      std::vector<int64_t> lengths;
+      MINIHIVE_RETURN_IF_ERROR(it->second->ReadInts(dict_size, &lengths));
+      node->dict.resize(dict_size);
+      std::string entry;
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        entry.clear();
+        MINIHIVE_RETURN_IF_ERROR(
+            data_stream->ReadRaw(static_cast<uint64_t>(lengths[i]), &entry));
+        node->dict[i] = entry;
+      }
+    }
+    dict_data_tmp_.clear();
+    dict_length_tmp_.clear();
+
+    stripe_loaded_ = true;
+    group_iter_ = 0;
+    current_group_rows_ = 0;
+    rows_in_group_cursor_ = 0;
+    return Status::OK();
+  }
+
+  Status DecodeGroup(uint32_t g) {
+    std::vector<ColumnNode*> nodes;
+    root_.Flatten(&nodes);
+    for (size_t c = 0; c < nodes.size(); ++c) {
+      ColumnNode* node = nodes[c];
+      if (!node->needed) continue;
+      MINIHIVE_RETURN_IF_ERROR(DecodeColumnGroup(
+          node, g, stripe_footer_.instance_counts[c][g],
+          stripe_footer_.nonnull_counts[c][g]));
+    }
+    current_group_rows_ = stripe_footer_.instance_counts[0][g];
+    rows_in_group_cursor_ = 0;
+    return Status::OK();
+  }
+
+  Status DecodeColumnGroup(ColumnNode* node, uint32_t g, uint64_t instances,
+                           uint64_t nonnull) {
+    node->instance_count = instances;
+    node->nonnull_count = nonnull;
+    node->inst_cur = 0;
+    node->nn_cur = 0;
+    node->present.clear();
+    node->ints.clear();
+    node->doubles.clear();
+    node->bytes.clear();
+    node->arena.clear();
+    node->str_spans.clear();
+
+    if (node->present_stream != nullptr) {
+      MINIHIVE_RETURN_IF_ERROR(node->present_stream->StartGroup(g));
+      MINIHIVE_RETURN_IF_ERROR(
+          node->present_stream->ReadBits(instances, &node->present));
+    }
+    switch (node->type->kind()) {
+      case TypeKind::kBoolean: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        std::vector<uint8_t> bits;
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->ReadBits(nonnull, &bits));
+        node->ints.assign(bits.begin(), bits.end());
+        break;
+      }
+      case TypeKind::kTinyInt: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        MINIHIVE_RETURN_IF_ERROR(
+            node->data_stream->ReadRleBytes(nonnull, &node->bytes));
+        node->ints.resize(nonnull);
+        for (uint64_t i = 0; i < nonnull; ++i) {
+          node->ints[i] = static_cast<int8_t>(node->bytes[i]);
+        }
+        break;
+      }
+      case TypeKind::kSmallInt:
+      case TypeKind::kInt:
+      case TypeKind::kBigInt:
+      case TypeKind::kTimestamp: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        MINIHIVE_RETURN_IF_ERROR(
+            node->data_stream->ReadInts(nonnull, &node->ints));
+        break;
+      }
+      case TypeKind::kFloat:
+      case TypeKind::kDouble: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        std::string raw;
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->ReadRaw(nonnull * 8, &raw));
+        node->doubles.resize(nonnull);
+        ByteReader reader(raw);
+        for (uint64_t i = 0; i < nonnull; ++i) {
+          MINIHIVE_RETURN_IF_ERROR(reader.GetDoubleBits(&node->doubles[i]));
+        }
+        break;
+      }
+      case TypeKind::kString: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        if (node->encoding == ColumnEncoding::kDictionary) {
+          MINIHIVE_RETURN_IF_ERROR(
+              node->data_stream->ReadInts(nonnull, &node->ints));
+        } else {
+          MINIHIVE_RETURN_IF_ERROR(node->length_stream->StartGroup(g));
+          std::vector<int64_t> lengths;
+          MINIHIVE_RETURN_IF_ERROR(
+              node->length_stream->ReadInts(nonnull, &lengths));
+          uint64_t total = 0;
+          for (int64_t len : lengths) total += static_cast<uint64_t>(len);
+          MINIHIVE_RETURN_IF_ERROR(
+              node->data_stream->ReadRaw(total, &node->arena));
+          node->str_spans.resize(nonnull);
+          uint64_t at = 0;
+          for (uint64_t i = 0; i < nonnull; ++i) {
+            node->str_spans[i] = {at, static_cast<uint32_t>(lengths[i])};
+            at += static_cast<uint64_t>(lengths[i]);
+          }
+        }
+        break;
+      }
+      case TypeKind::kArray:
+      case TypeKind::kMap: {
+        MINIHIVE_RETURN_IF_ERROR(node->length_stream->StartGroup(g));
+        MINIHIVE_RETURN_IF_ERROR(
+            node->length_stream->ReadInts(nonnull, &node->ints));
+        break;
+      }
+      case TypeKind::kStruct:
+        break;
+      case TypeKind::kUnion: {
+        MINIHIVE_RETURN_IF_ERROR(node->data_stream->StartGroup(g));
+        MINIHIVE_RETURN_IF_ERROR(
+            node->data_stream->ReadRleBytes(nonnull, &node->bytes));
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Reconstructs the next value of `node` (row mode).
+  Status ReconstructValue(ColumnNode* node, Value* out) {
+    bool is_present =
+        node->present.empty() || node->present[node->inst_cur] != 0;
+    ++node->inst_cur;
+    if (!is_present) {
+      *out = Value::Null();
+      return Status::OK();
+    }
+    size_t j = node->nn_cur++;
+    switch (node->type->kind()) {
+      case TypeKind::kBoolean:
+        *out = Value::Bool(node->ints[j] != 0);
+        return Status::OK();
+      case TypeKind::kTinyInt:
+      case TypeKind::kSmallInt:
+      case TypeKind::kInt:
+      case TypeKind::kBigInt:
+      case TypeKind::kTimestamp:
+        *out = Value::Int(node->ints[j]);
+        return Status::OK();
+      case TypeKind::kFloat:
+      case TypeKind::kDouble:
+        *out = Value::Double(node->doubles[j]);
+        return Status::OK();
+      case TypeKind::kString: {
+        if (node->encoding == ColumnEncoding::kDictionary) {
+          *out = Value::String(node->dict[static_cast<size_t>(node->ints[j])]);
+        } else {
+          auto [off, len] = node->str_spans[j];
+          *out = Value::String(node->arena.substr(off, len));
+        }
+        return Status::OK();
+      }
+      case TypeKind::kArray: {
+        int64_t n = node->ints[j];
+        Value::Array elements(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          MINIHIVE_RETURN_IF_ERROR(
+              ReconstructValue(node->children[0].get(), &elements[i]));
+        }
+        *out = Value::MakeArray(std::move(elements));
+        return Status::OK();
+      }
+      case TypeKind::kMap: {
+        int64_t n = node->ints[j];
+        Value::MapEntries entries(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          MINIHIVE_RETURN_IF_ERROR(
+              ReconstructValue(node->children[0].get(), &entries[i].first));
+          MINIHIVE_RETURN_IF_ERROR(
+              ReconstructValue(node->children[1].get(), &entries[i].second));
+        }
+        *out = Value::MakeMap(std::move(entries));
+        return Status::OK();
+      }
+      case TypeKind::kStruct: {
+        Value::StructFields fields(node->children.size());
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          MINIHIVE_RETURN_IF_ERROR(
+              ReconstructValue(node->children[i].get(), &fields[i]));
+        }
+        *out = Value::MakeStruct(std::move(fields));
+        return Status::OK();
+      }
+      case TypeKind::kUnion: {
+        int tag = node->bytes[j];
+        Value inner;
+        MINIHIVE_RETURN_IF_ERROR(
+            ReconstructValue(node->children[tag].get(), &inner));
+        *out = Value::MakeUnion(tag, std::move(inner));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Copies n rows of a primitive top-level column into a batch vector
+  /// (paper §6.5: the reader deserializes into column vectors and sets the
+  /// no-null flag).
+  Status FillVector(ColumnNode* node, vec::VectorizedRowBatch* batch,
+                    int vector_index, int n) {
+    bool no_nulls = node->present.empty();
+    vec::ColumnVector* base = batch->columns[vector_index].get();
+    if (!no_nulls) {
+      base->no_nulls = false;
+      for (int i = 0; i < n; ++i) {
+        base->not_null[i] = node->present[node->inst_cur + i];
+      }
+    }
+    switch (base->kind()) {
+      case vec::VectorKind::kLong: {
+        auto* vec = static_cast<vec::LongColumnVector*>(base);
+        for (int i = 0; i < n; ++i) {
+          bool p = no_nulls || node->present[node->inst_cur + i];
+          vec->vector[i] = p ? node->ints[node->nn_cur++] : 0;
+        }
+        break;
+      }
+      case vec::VectorKind::kDouble: {
+        auto* vec = static_cast<vec::DoubleColumnVector*>(base);
+        for (int i = 0; i < n; ++i) {
+          bool p = no_nulls || node->present[node->inst_cur + i];
+          vec->vector[i] = p ? node->doubles[node->nn_cur++] : 0;
+        }
+        break;
+      }
+      case vec::VectorKind::kBytes: {
+        auto* vec = static_cast<vec::BytesColumnVector*>(base);
+        bool dict = node->encoding == ColumnEncoding::kDictionary;
+        // is-repeating detection (paper §6.2): a dictionary column whose
+        // batch references a single entry with no nulls materializes once.
+        if (dict && no_nulls && n > 0) {
+          bool constant = true;
+          int64_t first = node->ints[node->nn_cur];
+          for (int i = 1; i < n; ++i) {
+            if (node->ints[node->nn_cur + i] != first) {
+              constant = false;
+              break;
+            }
+          }
+          if (constant) {
+            vec->SetVal(0, node->dict[static_cast<size_t>(first)]);
+            vec->is_repeating = true;
+            node->nn_cur += n;
+            node->inst_cur += n;
+            return Status::OK();
+          }
+        }
+        for (int i = 0; i < n; ++i) {
+          bool p = no_nulls || node->present[node->inst_cur + i];
+          if (!p) {
+            vec->SetVal(i, std::string_view());
+            continue;
+          }
+          size_t j = node->nn_cur++;
+          if (dict) {
+            vec->SetVal(i, node->dict[static_cast<size_t>(node->ints[j])]);
+          } else {
+            auto [off, len] = node->str_spans[j];
+            vec->SetVal(i,
+                        std::string_view(node->arena).substr(off, len));
+          }
+        }
+        break;
+      }
+    }
+    node->inst_cur += n;
+    return Status::OK();
+  }
+
+  friend class OrcReader;
+
+  dfs::FileSystem* fs_;
+  std::shared_ptr<dfs::ReadableFile> file_;
+  OrcReadOptions options_;
+  FileTail tail_;
+  const codec::Codec* codec_ = nullptr;
+  ColumnNode root_;
+  std::vector<int> projected_;
+
+  std::vector<size_t> selected_stripes_;
+  size_t stripe_iter_ = 0;
+  bool stripe_loaded_ = false;
+  bool ppd_mode_ = false;
+  StripeFooter stripe_footer_;
+  StripeIndex stripe_index_;
+  std::vector<uint32_t> selected_groups_;
+  std::vector<GroupRun> group_runs_;
+  size_t group_iter_ = 0;
+  uint64_t current_group_rows_ = 0;
+  uint64_t rows_in_group_cursor_ = 0;
+  bool done_ = false;
+
+  std::map<uint32_t, std::unique_ptr<StreamReader>> dict_data_tmp_;
+  std::map<uint32_t, std::unique_ptr<StreamReader>> dict_length_tmp_;
+
+  uint64_t stripes_read_ = 0;
+  uint64_t stripes_skipped_ = 0;
+  uint64_t groups_read_ = 0;
+  uint64_t groups_skipped_ = 0;
+};
+
+OrcReader::OrcReader(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+OrcReader::~OrcReader() = default;
+
+Result<std::unique_ptr<OrcReader>> OrcReader::Open(dfs::FileSystem* fs,
+                                                   const std::string& path,
+                                                   OrcReadOptions options) {
+  MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<dfs::ReadableFile> file,
+                            fs->Open(path));
+  auto impl =
+      std::make_unique<Impl>(fs, std::move(file), std::move(options));
+  MINIHIVE_RETURN_IF_ERROR(impl->Open());
+  return std::unique_ptr<OrcReader>(new OrcReader(std::move(impl)));
+}
+
+const FileTail& OrcReader::tail() const { return impl_->tail(); }
+const TypePtr& OrcReader::schema() const { return impl_->tail().schema; }
+
+Result<bool> OrcReader::NextRow(Row* row) { return impl_->NextRow(row); }
+
+Result<std::unique_ptr<vec::VectorizedRowBatch>> OrcReader::CreateBatch()
+    const {
+  return impl_->CreateBatch();
+}
+
+Result<bool> OrcReader::NextBatch(vec::VectorizedRowBatch* batch) {
+  return impl_->NextBatch(batch);
+}
+
+uint64_t OrcReader::stripes_read() const { return impl_->stripes_read(); }
+uint64_t OrcReader::stripes_skipped() const {
+  return impl_->stripes_skipped();
+}
+uint64_t OrcReader::groups_read() const { return impl_->groups_read(); }
+uint64_t OrcReader::groups_skipped() const { return impl_->groups_skipped(); }
+
+}  // namespace minihive::orc

@@ -1,0 +1,145 @@
+#include "orc/sarg.h"
+
+namespace minihive::orc {
+
+namespace {
+
+/// Extracts a comparable [min, max] pair for the literal's family from the
+/// statistics. Returns false if the statistics carry no usable range.
+bool GetRange(const ColumnStatistics& stats, const Value& literal, Value* min,
+              Value* max) {
+  if (literal.is_int() || literal.is_double()) {
+    if (stats.has_int_stats()) {
+      *min = Value::Int(stats.int_min());
+      *max = Value::Int(stats.int_max());
+      return true;
+    }
+    if (stats.has_double_stats()) {
+      *min = Value::Double(stats.double_min());
+      *max = Value::Double(stats.double_max());
+      return true;
+    }
+    return false;
+  }
+  if (literal.is_string() && stats.has_string_stats()) {
+    *min = Value::String(stats.string_min());
+    *max = Value::String(stats.string_max());
+    return true;
+  }
+  return false;
+}
+
+TruthValue CompareAgainstRange(PredicateOp op, const Value& lit,
+                               const Value& lit2, const Value& min,
+                               const Value& max) {
+  switch (op) {
+    case PredicateOp::kEquals:
+      if (lit.Compare(min) < 0 || lit.Compare(max) > 0) return TruthValue::kNo;
+      return TruthValue::kMaybe;
+    case PredicateOp::kNotEquals:
+      // Definitely false only when every value equals the literal.
+      if (min.Compare(max) == 0 && lit.Compare(min) == 0) {
+        return TruthValue::kNo;
+      }
+      return TruthValue::kMaybe;
+    case PredicateOp::kLessThan:
+      if (min.Compare(lit) >= 0) return TruthValue::kNo;
+      return TruthValue::kMaybe;
+    case PredicateOp::kLessThanEquals:
+      if (min.Compare(lit) > 0) return TruthValue::kNo;
+      return TruthValue::kMaybe;
+    case PredicateOp::kGreaterThan:
+      if (max.Compare(lit) <= 0) return TruthValue::kNo;
+      return TruthValue::kMaybe;
+    case PredicateOp::kGreaterThanEquals:
+      if (max.Compare(lit) < 0) return TruthValue::kNo;
+      return TruthValue::kMaybe;
+    case PredicateOp::kBetween:
+      if (max.Compare(lit) < 0 || min.Compare(lit2) > 0) {
+        return TruthValue::kNo;
+      }
+      return TruthValue::kMaybe;
+    default:
+      return TruthValue::kMaybe;
+  }
+}
+
+}  // namespace
+
+TruthValue SearchArgument::EvaluateLeaf(const LeafPredicate& leaf,
+                                        const ColumnStatistics& stats) {
+  if (leaf.op == PredicateOp::kIsNull) {
+    return stats.has_null() ? TruthValue::kMaybe : TruthValue::kNo;
+  }
+  if (leaf.op == PredicateOp::kIsNotNull) {
+    return stats.num_values() > 0 ? TruthValue::kMaybe : TruthValue::kNo;
+  }
+  // Comparisons never match a unit that is entirely NULL.
+  if (stats.num_values() == 0) return TruthValue::kNo;
+  Value min, max;
+  if (!GetRange(stats, leaf.op == PredicateOp::kIn && !leaf.in_list.empty()
+                           ? leaf.in_list.front()
+                           : leaf.literal,
+                &min, &max)) {
+    return TruthValue::kMaybe;
+  }
+  if (leaf.op == PredicateOp::kIn) {
+    for (const Value& v : leaf.in_list) {
+      if (CompareAgainstRange(PredicateOp::kEquals, v, v, min, max) ==
+          TruthValue::kMaybe) {
+        return TruthValue::kMaybe;
+      }
+    }
+    return TruthValue::kNo;
+  }
+  return CompareAgainstRange(leaf.op, leaf.literal, leaf.literal2, min, max);
+}
+
+bool SearchArgument::CanSkip(
+    const std::vector<ColumnStatistics>& stats) const {
+  for (const LeafPredicate& leaf : leaves_) {
+    if (leaf.column < 0 || static_cast<size_t>(leaf.column) >= stats.size()) {
+      continue;
+    }
+    if (EvaluateLeaf(leaf, stats[leaf.column]) == TruthValue::kNo) {
+      return true;  // AND semantics: one impossible conjunct kills the unit.
+    }
+  }
+  return false;
+}
+
+std::string SearchArgument::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    if (i > 0) s += " AND ";
+    const LeafPredicate& leaf = leaves_[i];
+    s += "col" + std::to_string(leaf.column);
+    switch (leaf.op) {
+      case PredicateOp::kEquals: s += " = "; break;
+      case PredicateOp::kNotEquals: s += " != "; break;
+      case PredicateOp::kLessThan: s += " < "; break;
+      case PredicateOp::kLessThanEquals: s += " <= "; break;
+      case PredicateOp::kGreaterThan: s += " > "; break;
+      case PredicateOp::kGreaterThanEquals: s += " >= "; break;
+      case PredicateOp::kBetween:
+        s += " BETWEEN " + leaf.literal.ToString() + " AND " +
+             leaf.literal2.ToString();
+        continue;
+      case PredicateOp::kIn: {
+        s += " IN (";
+        for (size_t j = 0; j < leaf.in_list.size(); ++j) {
+          if (j > 0) s += ",";
+          s += leaf.in_list[j].ToString();
+        }
+        s += ")";
+        continue;
+      }
+      case PredicateOp::kIsNull: s += " IS NULL"; continue;
+      case PredicateOp::kIsNotNull: s += " IS NOT NULL"; continue;
+    }
+    s += leaf.literal.ToString();
+  }
+  return s;
+}
+
+}  // namespace minihive::orc

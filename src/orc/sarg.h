@@ -1,0 +1,69 @@
+#ifndef MINIHIVE_ORC_SARG_H_
+#define MINIHIVE_ORC_SARG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "orc/statistics.h"
+
+namespace minihive::orc {
+
+enum class PredicateOp {
+  kEquals,
+  kNotEquals,
+  kLessThan,
+  kLessThanEquals,
+  kGreaterThan,
+  kGreaterThanEquals,
+  kBetween,  // literal <= col <= literal2
+  kIn,
+  kIsNull,
+  kIsNotNull,
+};
+
+/// One pushed-down comparison against a top-level column.
+struct LeafPredicate {
+  int column = 0;  // Top-level field index in the table schema.
+  PredicateOp op = PredicateOp::kEquals;
+  Value literal;
+  Value literal2;            // Upper bound for kBetween.
+  std::vector<Value> in_list;  // For kIn.
+};
+
+/// Three-valued result of evaluating a predicate against statistics.
+enum class TruthValue { kNo, kMaybe };
+
+/// A conjunction of leaf predicates pushed down to the ORC reader (paper
+/// §4.2: "the query processing engine of Hive can push certain predicates to
+/// the reader of an ORC file"). Evaluated against file-, stripe-, and
+/// index-group-level statistics: if any leaf is definitely false over a unit
+/// of data, the whole unit is skipped.
+class SearchArgument {
+ public:
+  SearchArgument& AddLeaf(LeafPredicate leaf) {
+    leaves_.push_back(std::move(leaf));
+    return *this;
+  }
+
+  const std::vector<LeafPredicate>& leaves() const { return leaves_; }
+  bool empty() const { return leaves_.empty(); }
+
+  /// Evaluates one leaf against one column's statistics.
+  static TruthValue EvaluateLeaf(const LeafPredicate& leaf,
+                                 const ColumnStatistics& stats);
+
+  /// True if the unit whose per-top-level-column statistics are given can be
+  /// skipped entirely (some conjunct is definitely false). `stats[i]` must
+  /// be the statistics of top-level column i.
+  bool CanSkip(const std::vector<ColumnStatistics>& stats) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<LeafPredicate> leaves_;
+};
+
+}  // namespace minihive::orc
+
+#endif  // MINIHIVE_ORC_SARG_H_

@@ -1,0 +1,74 @@
+#ifndef MINIHIVE_ORC_STATISTICS_H_
+#define MINIHIVE_ORC_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace minihive::orc {
+
+/// Data statistics recorded per column at three levels — file, stripe, and
+/// index group (paper §4.2): number of values, min, max, sum, and total
+/// length for text/binary types. Used by the reader to skip stripes and
+/// index groups, and by query planning to answer simple aggregations.
+class ColumnStatistics {
+ public:
+  void UpdateInt(int64_t value);
+  void UpdateDouble(double value);
+  void UpdateString(std::string_view value);
+  /// Counts a non-null value with no orderable payload (struct columns).
+  void IncrementCount() { ++num_values_; }
+  void MarkNull() { has_null_ = true; }
+  /// Folds `other` into this (file stats = merge of stripe stats, etc.).
+  void Merge(const ColumnStatistics& other);
+  void Reset() { *this = ColumnStatistics(); }
+
+  uint64_t num_values() const { return num_values_; }
+  bool has_null() const { return has_null_; }
+
+  bool has_int_stats() const { return has_int_stats_; }
+  int64_t int_min() const { return int_min_; }
+  int64_t int_max() const { return int_max_; }
+  int64_t int_sum() const { return int_sum_; }
+
+  bool has_double_stats() const { return has_double_stats_; }
+  double double_min() const { return double_min_; }
+  double double_max() const { return double_max_; }
+  double double_sum() const { return double_sum_; }
+
+  bool has_string_stats() const { return has_string_stats_; }
+  const std::string& string_min() const { return string_min_; }
+  const std::string& string_max() const { return string_max_; }
+  uint64_t total_length() const { return total_length_; }
+
+  void Serialize(std::string* out) const;
+  static Status Deserialize(ByteReader* reader, ColumnStatistics* stats);
+
+  std::string ToString() const;
+
+ private:
+  uint64_t num_values_ = 0;  // Non-null values only.
+  bool has_null_ = false;
+
+  bool has_int_stats_ = false;
+  int64_t int_min_ = 0;
+  int64_t int_max_ = 0;
+  int64_t int_sum_ = 0;
+
+  bool has_double_stats_ = false;
+  double double_min_ = 0;
+  double double_max_ = 0;
+  double double_sum_ = 0;
+
+  bool has_string_stats_ = false;
+  std::string string_min_;
+  std::string string_max_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace minihive::orc
+
+#endif  // MINIHIVE_ORC_STATISTICS_H_

@@ -1,0 +1,237 @@
+#include "orc/stream_encoding.h"
+
+namespace minihive::orc {
+
+namespace {
+constexpr int kMinRun = 3;
+constexpr int kMaxRun = 130;       // header 0..127 encodes run length 3..130
+constexpr int kMaxLiterals = 128;  // header -1..-128
+}  // namespace
+
+// ----------------------------------------------------------------------
+// RunLengthByte
+
+void RunLengthByteEncoder::Add(uint8_t value) {
+  if (run_length_ > 0 && value == run_value_) {
+    if (run_length_ < kMaxRun) {
+      ++run_length_;
+      return;
+    }
+    FlushRun(&buffer_);
+    // Fall through to start a new pending value.
+  }
+  if (run_length_ > 0) {
+    // Previous pending value(s) did not extend into this one.
+    FlushRun(&buffer_);
+  }
+  run_value_ = value;
+  run_length_ = 1;
+}
+
+void RunLengthByteEncoder::FlushRun(std::string* out) {
+  if (run_length_ >= kMinRun) {
+    // Pending literals precede the run in value order; emit them first.
+    FlushLiterals(out);
+    out->push_back(static_cast<char>(run_length_ - kMinRun));
+    out->push_back(static_cast<char>(run_value_));
+  } else {
+    for (int i = 0; i < run_length_; ++i) {
+      literals_.push_back(run_value_);
+      if (static_cast<int>(literals_.size()) == kMaxLiterals) {
+        FlushLiterals(out);
+      }
+    }
+  }
+  run_length_ = 0;
+}
+
+void RunLengthByteEncoder::FlushLiterals(std::string* out) {
+  if (literals_.empty()) return;
+  out->push_back(static_cast<char>(-static_cast<int>(literals_.size())));
+  out->append(reinterpret_cast<const char*>(literals_.data()),
+              literals_.size());
+  literals_.clear();
+}
+
+void RunLengthByteEncoder::Finish(std::string* out) {
+  FlushRun(&buffer_);
+  FlushLiterals(&buffer_);
+  out->append(buffer_);
+  buffer_.clear();
+}
+
+Status RunLengthByteDecoder::Next(uint8_t* value) {
+  if (pending_ == 0) {
+    uint8_t header;
+    MINIHIVE_RETURN_IF_ERROR(reader_.GetByte(&header));
+    int8_t signed_header = static_cast<int8_t>(header);
+    if (signed_header >= 0) {
+      in_run_ = true;
+      pending_ = signed_header + kMinRun;
+      MINIHIVE_RETURN_IF_ERROR(reader_.GetByte(&run_value_));
+    } else {
+      in_run_ = false;
+      pending_ = -signed_header;
+      MINIHIVE_RETURN_IF_ERROR(
+          reader_.GetBytes(pending_, &literal_bytes_));
+      literal_pos_ = 0;
+    }
+  }
+  --pending_;
+  if (in_run_) {
+    *value = run_value_;
+  } else {
+    *value = static_cast<uint8_t>(literal_bytes_[literal_pos_++]);
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// IntRle
+
+namespace {
+/// Two's-complement subtraction/addition with defined wraparound: extreme
+/// deltas (e.g. INT64_MAX - INT64_MIN) wrap identically in the encoder and
+/// the decoder, so values still round-trip.
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrapMulAdd(int64_t base, int64_t delta, int64_t n) {
+  return static_cast<int64_t>(static_cast<uint64_t>(base) +
+                              static_cast<uint64_t>(delta) *
+                                  static_cast<uint64_t>(n));
+}
+}  // namespace
+
+void IntRleEncoder::Add(int64_t value) {
+  if (in_run_) {
+    int64_t expected = WrapMulAdd(run_base_, run_delta_, run_length_);
+    if (value == expected && run_length_ < kMaxRun) {
+      ++run_length_;
+      return;
+    }
+    FlushRun(&buffer_);
+  }
+  pending_.push_back(value);
+  // Detect a run forming at the tail of the pending literals: the last
+  // kMinRun values with a common delta in [-128, 127]. This is the paper's
+  // "specific encoding schemes determined based on the pattern of a
+  // sub-sequence": constant and arithmetic tails become delta runs.
+  size_t n = pending_.size();
+  if (n >= static_cast<size_t>(kMinRun)) {
+    int64_t d1 = WrapSub(pending_[n - 1], pending_[n - 2]);
+    int64_t d2 = WrapSub(pending_[n - 2], pending_[n - 3]);
+    if (d1 == d2 && d1 >= -128 && d1 <= 127) {
+      int64_t base = pending_[n - 3];
+      pending_.resize(n - kMinRun);
+      FlushLiterals(&buffer_);
+      in_run_ = true;
+      run_base_ = base;
+      run_delta_ = d1;
+      run_length_ = kMinRun;
+      return;
+    }
+  }
+  if (static_cast<int>(pending_.size()) == kMaxLiterals) {
+    FlushLiterals(&buffer_);
+  }
+}
+
+void IntRleEncoder::FlushRun(std::string* out) {
+  if (!in_run_) return;
+  out->push_back(static_cast<char>(run_length_ - kMinRun));
+  out->push_back(static_cast<char>(static_cast<int8_t>(run_delta_)));
+  PutVarintSigned64(out, run_base_);
+  in_run_ = false;
+  run_length_ = 0;
+}
+
+void IntRleEncoder::FlushLiterals(std::string* out) {
+  if (pending_.empty()) return;
+  out->push_back(static_cast<char>(-static_cast<int>(pending_.size())));
+  for (int64_t v : pending_) PutVarintSigned64(out, v);
+  pending_.clear();
+}
+
+void IntRleEncoder::Finish(std::string* out) {
+  FlushRun(&buffer_);
+  FlushLiterals(&buffer_);
+  out->append(buffer_);
+  buffer_.clear();
+}
+
+Status IntRleDecoder::Next(int64_t* value) {
+  if (pending_ == 0) {
+    uint8_t header;
+    MINIHIVE_RETURN_IF_ERROR(reader_.GetByte(&header));
+    int8_t signed_header = static_cast<int8_t>(header);
+    if (signed_header >= 0) {
+      in_run_ = true;
+      pending_ = signed_header + kMinRun;
+      uint8_t delta_byte;
+      MINIHIVE_RETURN_IF_ERROR(reader_.GetByte(&delta_byte));
+      run_delta_ = static_cast<int8_t>(delta_byte);
+      MINIHIVE_RETURN_IF_ERROR(reader_.GetVarintSigned64(&run_value_));
+    } else {
+      in_run_ = false;
+      pending_ = -signed_header;
+    }
+  }
+  --pending_;
+  if (in_run_) {
+    *value = run_value_;
+    run_value_ = WrapAdd(run_value_, run_delta_);
+  } else {
+    MINIHIVE_RETURN_IF_ERROR(reader_.GetVarintSigned64(value));
+  }
+  return Status::OK();
+}
+
+Status IntRleDecoder::NextBatch(int64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    MINIHIVE_RETURN_IF_ERROR(Next(&out[i]));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// BitField
+
+void BitFieldEncoder::Add(bool value) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (value ? 1 : 0));
+  ++bits_in_current_;
+  ++count_;
+  if (bits_in_current_ == 8) {
+    bytes_.Add(current_);
+    current_ = 0;
+    bits_in_current_ = 0;
+  }
+}
+
+void BitFieldEncoder::Finish(std::string* out) {
+  if (bits_in_current_ > 0) {
+    current_ = static_cast<uint8_t>(current_ << (8 - bits_in_current_));
+    bytes_.Add(current_);
+    current_ = 0;
+    bits_in_current_ = 0;
+  }
+  bytes_.Finish(out);
+}
+
+Status BitFieldDecoder::Next(bool* value) {
+  if (bits_left_ == 0) {
+    MINIHIVE_RETURN_IF_ERROR(bytes_.Next(&current_));
+    bits_left_ = 8;
+  }
+  *value = (current_ & 0x80) != 0;
+  current_ = static_cast<uint8_t>(current_ << 1);
+  --bits_left_;
+  return Status::OK();
+}
+
+}  // namespace minihive::orc

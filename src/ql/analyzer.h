@@ -1,0 +1,51 @@
+#ifndef MINIHIVE_QL_ANALYZER_H_
+#define MINIHIVE_QL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "ql/ast.h"
+#include "ql/catalog.h"
+
+namespace minihive::ql {
+
+/// The analyzed operator DAG of one query, before optimization and task
+/// compilation. `roots` are the TableScan descriptors (which own the DAG
+/// through their children pointers); `sink` is the final FileSink writing
+/// the query result.
+struct PlannedQuery {
+  std::vector<exec::OpDescPtr> roots;
+  exec::OpDescPtr sink;
+  /// Result column names and types, in output order.
+  std::vector<std::string> result_names;
+  std::vector<TypeKind> result_types;
+  /// Output sort directions of the final ORDER BY (empty if none);
+  /// propagated into the job whose shuffle performs the sort.
+  std::vector<bool> order_ascending;
+  int64_t limit = -1;
+  /// Temporary DFS directories introduced by optimizer job breaks.
+  std::vector<std::string> temp_dirs;
+
+  std::string DebugString() const;
+};
+
+/// Translates an AST into the canonical operator DAG, inserting
+/// ReduceSinkOperators wherever an operation needs re-partitioned input
+/// (joins, aggregations, order-by), exactly as the paper's §2 describes the
+/// original query translation. All optimizations live in ql/optimizer.
+class Analyzer {
+ public:
+  explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// `result_path` is the DFS directory the final FileSink writes to.
+  Result<PlannedQuery> Analyze(const AstQuery& query,
+                               const std::string& result_path);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_ANALYZER_H_

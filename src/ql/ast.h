@@ -1,0 +1,82 @@
+#ifndef MINIHIVE_QL_AST_H_
+#define MINIHIVE_QL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace minihive::ql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+struct AstQuery;
+using AstQueryPtr = std::shared_ptr<AstQuery>;
+
+enum class AstExprKind {
+  kColumn,   // [qualifier.]name
+  kLiteral,  // int/double/string/bool/null
+  kBinary,   // op in {+,-,*,/,=,!=,<,<=,>,>=,AND,OR}
+  kNot,
+  kIsNull,     // negated => IS NOT NULL
+  kBetween,    // child0 BETWEEN child1 AND child2
+  kIn,         // child0 IN (child1..)
+  kFunction,   // Aggregate call: sum/count/avg/min/max; star for COUNT(*).
+};
+
+/// Untyped parse-tree expression; the analyzer resolves columns and types.
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  // kColumn:
+  std::string qualifier;
+  std::string name;
+  // kLiteral:
+  Value literal;
+  // kBinary:
+  std::string op;
+  // kFunction:
+  std::string function;
+  bool star = false;     // COUNT(*).
+  bool negated = false;  // IS NOT NULL / NOT IN / NOT BETWEEN.
+  std::vector<AstExprPtr> children;
+
+  std::string ToString() const;
+};
+
+struct AstSelectItem {
+  AstExprPtr expr;
+  std::string alias;  // Empty = derived.
+};
+
+struct AstTableRef {
+  std::string table;     // Base table name (empty if subquery).
+  std::string alias;     // Exposed name (defaults to table).
+  AstQueryPtr subquery;  // FROM (SELECT ...) alias.
+};
+
+struct AstJoin {
+  AstTableRef right;
+  AstExprPtr condition;  // ON expression.
+  bool left_outer = false;
+};
+
+struct AstOrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+struct AstQuery {
+  bool select_star = false;
+  std::vector<AstSelectItem> select;
+  AstTableRef from;
+  std::vector<AstJoin> joins;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_AST_H_

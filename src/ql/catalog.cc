@@ -1,0 +1,41 @@
+#include "ql/catalog.h"
+
+namespace minihive::ql {
+
+Status Catalog::CreateTable(const std::string& name, TypePtr schema,
+                            formats::FormatKind format,
+                            codec::CompressionKind compression) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  if (schema == nullptr || schema->kind() != TypeKind::kStruct) {
+    return Status::InvalidArgument("table schema must be a struct");
+  }
+  schema->AssignColumnIds(0);
+  TableDesc desc;
+  desc.name = name;
+  desc.schema = std::move(schema);
+  desc.format = format;
+  desc.compression = compression;
+  desc.path_prefix = "/warehouse/" + name;
+  tables_[name] = std::move(desc);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  for (const std::string& path : TableFiles(it->second)) {
+    MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<const TableDesc*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return &it->second;
+}
+
+}  // namespace minihive::ql

@@ -1,0 +1,72 @@
+#ifndef MINIHIVE_QL_CATALOG_H_
+#define MINIHIVE_QL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "dfs/file_system.h"
+#include "formats/format.h"
+
+namespace minihive::ql {
+
+/// Metadata for one table: schema, storage format, and the DFS directory
+/// its files live under. The in-process analogue of Hive's Metastore.
+struct TableDesc {
+  std::string name;
+  TypePtr schema;  // Struct of top-level columns.
+  formats::FormatKind format = formats::FormatKind::kTextFile;
+  codec::CompressionKind compression = codec::CompressionKind::kNone;
+  std::string path_prefix;  // Files live at path_prefix + "/...".
+
+  int FieldIndex(const std::string& column) const {
+    const auto& names = schema->field_names();
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == column) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// The metastore: name -> table metadata. Not thread-safe for writes.
+class Catalog {
+ public:
+  explicit Catalog(dfs::FileSystem* fs) : fs_(fs) {}
+
+  /// Registers a table whose files live under `/warehouse/<name>`.
+  Status CreateTable(const std::string& name, TypePtr schema,
+                     formats::FormatKind format,
+                     codec::CompressionKind compression =
+                         codec::CompressionKind::kNone);
+
+  Status DropTable(const std::string& name);
+
+  Result<const TableDesc*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Paths of all files currently belonging to the table.
+  std::vector<std::string> TableFiles(const TableDesc& table) const {
+    return fs_->List(table.path_prefix + "/");
+  }
+
+  /// Total stored bytes of the table (drives map-join conversion).
+  uint64_t TableBytes(const TableDesc& table) const {
+    return fs_->TotalSize(table.path_prefix + "/");
+  }
+
+  dfs::FileSystem* fs() const { return fs_; }
+
+ private:
+  dfs::FileSystem* fs_;
+  std::map<std::string, TableDesc> tables_;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_CATALOG_H_

@@ -1,0 +1,132 @@
+#include "ql/driver.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+#include "ql/analyzer.h"
+#include "ql/optimizer.h"
+#include "ql/parser.h"
+#include "ql/task_compiler.h"
+
+namespace minihive::ql {
+
+Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
+    : fs_(fs), catalog_(catalog), options_(options) {}
+
+Result<QueryResult> Driver::Execute(std::string_view sql) {
+  return Run(sql, /*execute=*/true);
+}
+
+Result<QueryResult> Driver::Explain(std::string_view sql) {
+  return Run(sql, /*execute=*/false);
+}
+
+Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
+  Stopwatch watch;
+  // Process-wide id: several Driver instances may share one DFS.
+  static std::atomic<int> global_query_counter{0};
+  int query_id = global_query_counter.fetch_add(1);
+  query_counter_ = query_id;
+  std::string scratch = "/tmp/query-" + std::to_string(query_id);
+  std::string result_path = scratch + "/result";
+
+  MINIHIVE_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
+  Analyzer analyzer(catalog_);
+  MINIHIVE_ASSIGN_OR_RETURN(PlannedQuery plan,
+                            analyzer.Analyze(*ast, result_path));
+
+  MINIHIVE_RETURN_IF_ERROR(
+      PushdownIntoScans(&plan, options_.predicate_pushdown));
+  if (execute && options_.stats_aggregation) {
+    // §4.2: file-level statistics can answer simple aggregation queries
+    // outright.
+    bool answered = false;
+    QueryResult stats_result;
+    MINIHIVE_RETURN_IF_ERROR(TryAnswerFromStatistics(
+        plan, catalog_, &answered, &stats_result.rows));
+    if (answered) {
+      stats_result.column_names = plan.result_names;
+      stats_result.num_jobs = 0;
+      stats_result.plan_text = "answered from ORC file statistics\n";
+      stats_result.elapsed_millis = watch.ElapsedMillis();
+      return stats_result;
+    }
+  }
+  if (options_.mapjoin_conversion) {
+    MINIHIVE_RETURN_IF_ERROR(ConvertMapJoins(
+        &plan, catalog_, options_.mapjoin_threshold_bytes));
+  }
+  if (options_.merge_maponly_jobs) {
+    MINIHIVE_RETURN_IF_ERROR(
+        MergeMapOnlyJobs(&plan, options_.mapjoin_threshold_bytes));
+  }
+  if (options_.correlation_optimizer) {
+    MINIHIVE_RETURN_IF_ERROR(ApplyCorrelationOptimizer(&plan));
+  }
+
+  MINIHIVE_ASSIGN_OR_RETURN(
+      CompiledPlan compiled,
+      CompileTasks(&plan, scratch, options_.default_reducers));
+
+  QueryResult result;
+  result.column_names = plan.result_names;
+  result.num_jobs = static_cast<int>(compiled.jobs.size());
+  for (const MapRedJob& job : compiled.jobs) {
+    if (job.num_reducers == 0) ++result.num_map_only_jobs;
+  }
+  result.plan_text = compiled.DebugString();
+  if (!execute) {
+    result.elapsed_millis = watch.ElapsedMillis();
+    return result;
+  }
+
+  ExecutionOptions exec_options;
+  exec_options.default_reducers = options_.default_reducers;
+  exec_options.split_size = options_.split_size;
+  exec_options.num_workers = options_.num_workers;
+  exec_options.job_startup_ms = options_.job_startup_ms;
+  exec_options.vectorized = options_.vectorized_execution;
+  PlanExecutor executor(fs_, catalog_, exec_options);
+  MINIHIVE_RETURN_IF_ERROR(
+      executor.Run(compiled, &result.counters, &result.jobs));
+
+  // Fetch: read the result files back (variant-coded SequenceFile rows).
+  const formats::FileFormat* format =
+      formats::GetFileFormat(formats::FormatKind::kSequenceFile);
+  for (const std::string& path : fs_->List(result_path + "/")) {
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::unique_ptr<formats::RowReader> reader,
+        format->OpenReader(fs_, path, nullptr, formats::ReadOptions()));
+    Row row;
+    while (true) {
+      MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      result.rows.push_back(row);
+      if (plan.limit >= 0 && !plan.order_ascending.empty() &&
+          static_cast<int64_t>(result.rows.size()) >= plan.limit) {
+        break;
+      }
+    }
+  }
+  // LIMIT without a global sort is enforced per task; trim the union.
+  if (plan.limit >= 0 &&
+      static_cast<int64_t>(result.rows.size()) > plan.limit) {
+    result.rows.resize(plan.limit);
+  }
+
+  if (!options_.keep_temps) {
+    std::vector<std::string> doomed = fs_->List(scratch + "/");
+    for (const std::string& path : doomed) {
+      MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+    }
+    for (const std::string& dir : plan.temp_dirs) {
+      for (const std::string& path : fs_->List(dir + "/")) {
+        MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+      }
+    }
+  }
+  result.elapsed_millis = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace minihive::ql

@@ -1,0 +1,79 @@
+#ifndef MINIHIVE_QL_DRIVER_H_
+#define MINIHIVE_QL_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mr/engine.h"
+#include "ql/catalog.h"
+#include "ql/runtime.h"
+
+namespace minihive::ql {
+
+/// Session-level switches — each maps to one of the paper's advancements so
+/// the benchmarks can toggle them independently.
+struct DriverOptions {
+  /// Column pruning + SARG pushdown into scans (ORC PPD, §4.2).
+  bool predicate_pushdown = true;
+  /// Reduce-Join -> Map-Join conversion with its per-join Map-only job.
+  bool mapjoin_conversion = true;
+  uint64_t mapjoin_threshold_bytes = 256ULL * 1024 * 1024;
+  /// §5.1: merge Map-only jobs into their children.
+  bool merge_maponly_jobs = true;
+  /// §5.2: the Correlation Optimizer.
+  bool correlation_optimizer = false;
+  /// §6: vectorized execution for eligible map pipelines.
+  bool vectorized_execution = false;
+  /// §4.2: answer simple aggregations over unfiltered ORC tables directly
+  /// from file statistics (no scan, no MapReduce job).
+  bool stats_aggregation = true;
+  int default_reducers = 4;
+  uint64_t split_size = 0;  // 0 = DFS block size.
+  int num_workers = 2;
+  /// Simulated per-job startup latency (Hadoop scheduling/JVM costs).
+  int job_startup_ms = 0;
+  /// Keep intermediate files after the query (debugging).
+  bool keep_temps = false;
+};
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  mr::JobCounters counters;
+  std::vector<JobReport> jobs;
+  int num_jobs = 0;
+  int num_map_only_jobs = 0;
+  double elapsed_millis = 0;
+  /// The compiled plan (after optimization), for explain-style inspection.
+  std::string plan_text;
+};
+
+/// The session facade: parse -> analyze -> optimize -> compile -> execute ->
+/// fetch, mirroring Hive's Driver (paper §2).
+class Driver {
+ public:
+  Driver(dfs::FileSystem* fs, Catalog* catalog,
+         DriverOptions options = DriverOptions());
+
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Plans without executing; returns the plan's debug text and job count.
+  Result<QueryResult> Explain(std::string_view sql);
+
+  Catalog* catalog() { return catalog_; }
+  DriverOptions& options() { return options_; }
+
+ private:
+  Result<QueryResult> Run(std::string_view sql, bool execute);
+
+  dfs::FileSystem* fs_;
+  Catalog* catalog_;
+  DriverOptions options_;
+  int query_counter_ = 0;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_DRIVER_H_

@@ -1,0 +1,28 @@
+#ifndef MINIHIVE_QL_PARSER_H_
+#define MINIHIVE_QL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "ql/ast.h"
+
+namespace minihive::ql {
+
+/// Parses one SELECT statement in MiniHive's SQL subset:
+///
+///   SELECT expr [AS alias], ... | *
+///   FROM table [alias] | (subquery) alias
+///     [ [LEFT [OUTER]] JOIN table_ref ON condition ]...
+///   [WHERE condition]
+///   [GROUP BY expr, ...]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+/// with arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN, IS [NOT] NULL,
+/// and the aggregates SUM/COUNT/AVG/MIN/MAX. Keywords are
+/// case-insensitive; a trailing ';' is allowed.
+Result<AstQueryPtr> ParseQuery(std::string_view sql);
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_PARSER_H_

@@ -1,0 +1,270 @@
+#include "ql/runtime.h"
+
+#include <set>
+
+#include "common/stopwatch.h"
+#include "vec/vectorized_pipeline.h"
+
+namespace minihive::ql {
+
+namespace {
+
+using exec::OpDesc;
+using exec::OpDescPtr;
+using exec::OpKind;
+
+/// Resolved input of one map source.
+struct SourceRuntime {
+  OpDescPtr root;
+  formats::FormatKind format = formats::FormatKind::kSequenceFile;
+  TypePtr schema;  // Null for temp (variant) inputs.
+  std::vector<std::string> paths;
+};
+
+/// Collects the MapJoin descriptors of a map region (TS .. RS/FS).
+void CollectMapJoins(const OpDescPtr& root, std::vector<const OpDesc*>* out) {
+  std::vector<const OpDesc*> stack = {root.get()};
+  std::set<const OpDesc*> seen;
+  while (!stack.empty()) {
+    const OpDesc* cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (cur->kind == OpKind::kMapJoin) out->push_back(cur);
+    if (cur->kind == OpKind::kReduceSink) continue;
+    for (const OpDescPtr& child : cur->children) stack.push_back(child.get());
+  }
+}
+
+class RowMapTask : public mr::MapTask {
+ public:
+  RowMapTask(dfs::FileSystem* fs, const std::vector<SourceRuntime>* sources,
+             const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
+                 mapjoin_tables,
+             bool vectorized)
+      : fs_(fs),
+        sources_(sources),
+        mapjoin_tables_(mapjoin_tables),
+        vectorized_(vectorized) {}
+
+  Status Run(const mr::InputSplit& split, int task_index,
+             mr::ShuffleEmitter* emitter) override {
+    if (split.source_tag < 0 ||
+        static_cast<size_t>(split.source_tag) >= sources_->size()) {
+      return Status::Internal("split source tag out of range");
+    }
+    const SourceRuntime& source = (*sources_)[split.source_tag];
+
+    exec::TaskContext ctx;
+    ctx.fs = fs_;
+    ctx.task_suffix = "m-" + std::to_string(task_index);
+    ctx.emitter = emitter;
+    ctx.mapjoin_tables = mapjoin_tables_;
+    ctx.reader_host = split.locality_host;
+
+    // The vectorized path handles eligible pipelines entirely (paper §6);
+    // it reports NotImplemented when the pipeline does not qualify, in
+    // which case we run the row-mode pipeline below.
+    if (vectorized_) {
+      Status vstatus = vec::RunVectorizedMapPipeline(source.root.get(),
+                                                     source.schema,
+                                                     source.format, split,
+                                                     &ctx);
+      if (!vstatus.IsNotImplemented()) return vstatus;
+    }
+
+    exec::OperatorArena arena;
+    MINIHIVE_ASSIGN_OR_RETURN(exec::Operator * root,
+                              exec::BuildOperatorTree(source.root.get(),
+                                                      &arena));
+    MINIHIVE_RETURN_IF_ERROR(root->Init(&ctx));
+
+    const formats::FileFormat* format = formats::GetFileFormat(source.format);
+    formats::ReadOptions read_options;
+    read_options.projected_columns = source.root->scan_projection;
+    read_options.sarg = source.root->sarg.get();
+    read_options.split_offset = split.offset;
+    read_options.split_length = split.length;
+    read_options.reader_host = split.locality_host;
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::unique_ptr<formats::RowReader> reader,
+        format->OpenReader(fs_, split.path, source.schema, read_options));
+    Row row;
+    while (true) {
+      MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      MINIHIVE_RETURN_IF_ERROR(root->Process(row, 0));
+    }
+    return root->Finish();
+  }
+
+ private:
+  dfs::FileSystem* fs_;
+  const std::vector<SourceRuntime>* sources_;
+  const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
+      mapjoin_tables_;
+  bool vectorized_;
+};
+
+class RowReduceTask : public mr::ReduceTask {
+ public:
+  RowReduceTask(dfs::FileSystem* fs, const OpDesc* reduce_root,
+                const std::unordered_map<
+                    int, std::shared_ptr<exec::MapJoinTables>>* mapjoin_tables,
+                int partition)
+      : fs_(fs),
+        reduce_root_(reduce_root),
+        mapjoin_tables_(mapjoin_tables),
+        partition_(partition) {}
+
+  Status StartGroup(const Row& key) override {
+    (void)key;
+    MINIHIVE_RETURN_IF_ERROR(EnsureInit());
+    return root_->StartGroup();
+  }
+
+  Status Reduce(const Row& key, const Row& value, int tag) override {
+    // The reduce entry sees the concatenated (key ++ value) layout, like
+    // Hive's reduce-side row reconstruction.
+    Row row;
+    row.reserve(key.size() + value.size());
+    row.insert(row.end(), key.begin(), key.end());
+    row.insert(row.end(), value.begin(), value.end());
+    return root_->Process(row, tag);
+  }
+
+  Status EndGroup() override { return root_->EndGroup(); }
+
+  Status Finish() override {
+    MINIHIVE_RETURN_IF_ERROR(EnsureInit());
+    return root_->Finish();
+  }
+
+ private:
+  Status EnsureInit() {
+    if (root_ != nullptr) return Status::OK();
+    ctx_.fs = fs_;
+    ctx_.task_suffix = "r-" + std::to_string(partition_);
+    ctx_.mapjoin_tables = mapjoin_tables_;
+    MINIHIVE_ASSIGN_OR_RETURN(root_,
+                              exec::BuildOperatorTree(reduce_root_, &arena_));
+    return root_->Init(&ctx_);
+  }
+
+  dfs::FileSystem* fs_;
+  const OpDesc* reduce_root_;
+  const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
+      mapjoin_tables_;
+  int partition_;
+  exec::TaskContext ctx_;
+  exec::OperatorArena arena_;
+  exec::Operator* root_ = nullptr;
+};
+
+}  // namespace
+
+PlanExecutor::PlanExecutor(dfs::FileSystem* fs, const Catalog* catalog,
+                           ExecutionOptions options)
+    : fs_(fs),
+      catalog_(catalog),
+      options_(options),
+      engine_(fs, mr::EngineOptions{options.num_workers,
+                                     options.job_startup_ms}) {}
+
+Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
+                         std::vector<JobReport>* reports) {
+  for (const MapRedJob& job : plan.jobs) {
+    Stopwatch watch;
+    mr::JobCounters counters;
+    MINIHIVE_RETURN_IF_ERROR(RunJob(job, &counters));
+    counters.AccumulateInto(totals);
+    if (reports != nullptr) {
+      JobReport report;
+      report.name = job.name;
+      report.elapsed_millis = watch.ElapsedMillis();
+      report.map_tasks = counters.map_tasks;
+      report.reduce_tasks = counters.reduce_tasks;
+      reports->push_back(report);
+    }
+  }
+  return Status::OK();
+}
+
+Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
+  // Resolve the sources.
+  auto sources = std::make_shared<std::vector<SourceRuntime>>();
+  for (const MapRedJob::MapSource& map_source : job.sources) {
+    SourceRuntime source;
+    source.root = map_source.root;
+    if (!map_source.root->scan_temp_prefix.empty()) {
+      source.format = formats::FormatKind::kSequenceFile;
+      source.schema = nullptr;
+      source.paths = fs_->List(map_source.root->scan_temp_prefix + "/");
+    } else {
+      MINIHIVE_ASSIGN_OR_RETURN(
+          const TableDesc* table,
+          catalog_->GetTable(map_source.root->table_name));
+      source.format = table->format;
+      source.schema = table->schema;
+      source.paths = catalog_->TableFiles(*table);
+    }
+    sources->push_back(std::move(source));
+  }
+
+  // Local task: build all map-join hash tables once per job.
+  auto mapjoin_tables = std::make_shared<
+      std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>>();
+  exec::TableResolver resolver =
+      [this](const std::string& name) -> Result<exec::SmallTableSource> {
+    MINIHIVE_ASSIGN_OR_RETURN(const TableDesc* table,
+                              catalog_->GetTable(name));
+    exec::SmallTableSource source;
+    source.paths = catalog_->TableFiles(*table);
+    source.format = table->format;
+    source.schema = table->schema;
+    return source;
+  };
+  std::vector<const OpDesc*> mapjoins;
+  for (const auto& source : *sources) {
+    CollectMapJoins(source.root, &mapjoins);
+  }
+  if (job.reduce_root != nullptr) {
+    // Map joins can also sit in a reduce pipeline (a converted join whose
+    // streamed side is another join's output).
+    CollectMapJoins(job.reduce_root, &mapjoins);
+  }
+  for (const OpDesc* mj : mapjoins) {
+    MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<exec::MapJoinTables> tables,
+                              exec::BuildMapJoinTables(fs_, *mj, resolver));
+    (*mapjoin_tables)[mj->id] = std::move(tables);
+  }
+
+  // Splits.
+  mr::JobConfig config;
+  config.name = job.name;
+  uint64_t split_size =
+      options_.split_size > 0 ? options_.split_size : fs_->block_size();
+  for (size_t i = 0; i < sources->size(); ++i) {
+    std::vector<mr::InputSplit> splits = mr::ComputeSplits(
+        fs_, (*sources)[i].paths, split_size, static_cast<int>(i));
+    config.splits.insert(config.splits.end(), splits.begin(), splits.end());
+  }
+  config.num_reducers = job.num_reducers;
+  config.sort_ascending = job.sort_ascending;
+
+  bool vectorized = options_.vectorized;
+  dfs::FileSystem* fs = fs_;
+  config.map_factory = [fs, sources, mapjoin_tables, vectorized]() {
+    return std::make_unique<RowMapTask>(fs, sources.get(),
+                                        mapjoin_tables.get(), vectorized);
+  };
+  if (job.num_reducers > 0) {
+    const OpDesc* reduce_root = job.reduce_root.get();
+    config.reduce_factory = [fs, reduce_root, mapjoin_tables](int partition) {
+      return std::make_unique<RowReduceTask>(fs, reduce_root,
+                                             mapjoin_tables.get(), partition);
+    };
+  }
+  return engine_.RunJob(config, counters);
+}
+
+}  // namespace minihive::ql

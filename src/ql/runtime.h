@@ -1,0 +1,58 @@
+#ifndef MINIHIVE_QL_RUNTIME_H_
+#define MINIHIVE_QL_RUNTIME_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "mr/engine.h"
+#include "ql/catalog.h"
+#include "ql/task_compiler.h"
+
+namespace minihive::ql {
+
+struct ExecutionOptions {
+  /// Reducers per job when the plan does not demand a specific count.
+  int default_reducers = 4;
+  /// Input split size; 0 = the DFS block size.
+  uint64_t split_size = 0;
+  /// Concurrent task slots in the engine.
+  int num_workers = 2;
+  /// Simulated per-job startup latency (see mr::EngineOptions).
+  int job_startup_ms = 0;
+  /// Use the vectorized execution engine for eligible map pipelines
+  /// (paper §6); ineligible pipelines fall back to row mode.
+  bool vectorized = false;
+};
+
+/// Per-job timing, for the benches that report per-plan behaviour.
+struct JobReport {
+  std::string name;
+  double elapsed_millis = 0;
+  int map_tasks = 0;
+  int reduce_tasks = 0;
+};
+
+/// Executes a compiled plan job-by-job (respecting dependencies) on the
+/// MapReduce engine: builds map-join hash tables (the "local task"),
+/// computes splits, and instantiates operator pipelines per task.
+class PlanExecutor {
+ public:
+  PlanExecutor(dfs::FileSystem* fs, const Catalog* catalog,
+               ExecutionOptions options);
+
+  Status Run(const CompiledPlan& plan, mr::JobCounters* totals,
+             std::vector<JobReport>* reports);
+
+ private:
+  Status RunJob(const MapRedJob& job, mr::JobCounters* counters);
+
+  dfs::FileSystem* fs_;
+  const Catalog* catalog_;
+  ExecutionOptions options_;
+  mr::Engine engine_;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_RUNTIME_H_

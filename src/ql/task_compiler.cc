@@ -1,0 +1,286 @@
+#include "ql/task_compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace minihive::ql {
+
+namespace {
+
+using exec::MakeOp;
+using exec::OpDesc;
+using exec::OpDescPtr;
+using exec::OpKind;
+
+/// All reachable descriptors from the roots (children direction).
+void CollectOps(const std::vector<OpDescPtr>& roots,
+                std::vector<OpDescPtr>* out) {
+  std::set<const OpDesc*> seen;
+  std::vector<OpDescPtr> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    OpDescPtr op = stack.back();
+    stack.pop_back();
+    if (!seen.insert(op.get()).second) continue;
+    out->push_back(op);
+    for (const OpDescPtr& child : op->children) stack.push_back(child);
+  }
+}
+
+/// Marks every op that executes in some reduce phase: children of RS ops
+/// and their downstream closure, stopping at (but including) nested RS ops.
+void MarkReduceResident(const std::vector<OpDescPtr>& ops,
+                        std::set<const OpDesc*>* resident) {
+  for (const OpDescPtr& op : ops) {
+    if (op->kind != OpKind::kReduceSink) continue;
+    std::vector<const OpDesc*> stack;
+    for (const OpDescPtr& child : op->children) stack.push_back(child.get());
+    while (!stack.empty()) {
+      const OpDesc* cur = stack.back();
+      stack.pop_back();
+      if (!resident->insert(cur).second) continue;
+      if (cur->kind == OpKind::kReduceSink) continue;  // Next stage.
+      for (const OpDescPtr& child : cur->children) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+/// Follows single-parent chains up to the TableScan feeding a pipeline.
+Result<OpDescPtr> FindScanRoot(OpDesc* op,
+                               const std::vector<OpDescPtr>& all_ops) {
+  OpDesc* cur = op;
+  while (cur->kind != OpKind::kTableScan) {
+    if (cur->parents.size() != 1) {
+      return Status::Internal(
+          std::string("map pipeline operator has unexpected fan-in: ") +
+          exec::OpKindName(cur->kind));
+    }
+    cur = cur->parents[0];
+  }
+  for (const OpDescPtr& op_ptr : all_ops) {
+    if (op_ptr.get() == cur) return op_ptr;
+  }
+  return Status::Internal("scan root not found among plan ops");
+}
+
+}  // namespace
+
+Result<CompiledPlan> CompileTasks(PlannedQuery* plan,
+                                  const std::string& tmp_prefix,
+                                  int default_reducers) {
+  CompiledPlan compiled;
+
+  // ---- Step 1: surgery — materialize between consecutive shuffles.
+  {
+    std::vector<OpDescPtr> ops;
+    CollectOps(plan->roots, &ops);
+    std::set<const OpDesc*> resident;
+    MarkReduceResident(ops, &resident);
+    int tmp_index = 0;
+    for (const OpDescPtr& op : ops) {
+      if (op->kind != OpKind::kReduceSink || resident.count(op.get()) == 0) {
+        continue;
+      }
+      if (op->parents.size() != 1) {
+        return Status::Internal("ReduceSink with fan-in");
+      }
+      OpDesc* parent = op->parents[0];
+      std::string tmp =
+          tmp_prefix + "/inter-" + std::to_string(tmp_index++);
+      OpDescPtr fs = MakeOp(OpKind::kFileSink);
+      fs->sink_path_prefix = tmp;
+      fs->sink_format = formats::FormatKind::kSequenceFile;
+      fs->sink_schema = nullptr;  // Variant-coded intermediate rows.
+      fs->output_width = parent->output_width;
+      OpDescPtr ts = MakeOp(OpKind::kTableScan);
+      ts->scan_temp_prefix = tmp;
+      ts->table_width = parent->output_width;
+      ts->output_width = parent->output_width;
+      // Splice: parent -> FS ; TS -> RS.
+      for (OpDescPtr& child : parent->children) {
+        if (child.get() == op.get()) {
+          child = fs;
+          fs->parents.push_back(parent);
+          break;
+        }
+      }
+      op->parents[0] = ts.get();
+      ts->children.push_back(op);
+      plan->roots.push_back(ts);
+      compiled.temp_dirs.push_back(tmp);
+    }
+  }
+
+  // ---- Step 2: group RS boundaries into jobs by their reduce entry.
+  std::vector<OpDescPtr> ops;
+  CollectOps(plan->roots, &ops);
+
+  std::map<const OpDesc*, std::vector<OpDescPtr>> reduce_groups;
+  for (const OpDescPtr& op : ops) {
+    if (op->kind != OpKind::kReduceSink) continue;
+    if (op->children.size() != 1) {
+      return Status::Internal("ReduceSink must have exactly one child");
+    }
+    reduce_groups[op->children[0].get()].push_back(op);
+  }
+
+  std::vector<MapRedJob> jobs;
+  // FS path prefix -> job index producing it (filled as jobs are created).
+  std::map<std::string, int> producer_of;
+
+  auto record_sinks = [&](const OpDescPtr& start, int job_index) {
+    // Record every FileSink reachable from `start` without crossing an RS.
+    std::vector<const OpDesc*> stack = {start.get()};
+    std::set<const OpDesc*> seen;
+    while (!stack.empty()) {
+      const OpDesc* cur = stack.back();
+      stack.pop_back();
+      if (!seen.insert(cur).second) continue;
+      if (cur->kind == OpKind::kFileSink) {
+        producer_of[cur->sink_path_prefix] = job_index;
+      }
+      if (cur->kind == OpKind::kReduceSink) continue;
+      for (const OpDescPtr& child : cur->children) {
+        stack.push_back(child.get());
+      }
+    }
+  };
+
+  for (auto& [entry, rs_list] : reduce_groups) {
+    std::sort(rs_list.begin(), rs_list.end(),
+              [](const OpDescPtr& a, const OpDescPtr& b) {
+                return a->sink_tag < b->sink_tag;
+              });
+    MapRedJob job;
+    job.name = "job-" + std::to_string(jobs.size());
+    int explicit_reducers = 0;
+    for (const OpDescPtr& rs : rs_list) {
+      MINIHIVE_ASSIGN_OR_RETURN(OpDescPtr root, FindScanRoot(rs.get(), ops));
+      job.sources.push_back({root});
+      if (rs->sink_num_reducers > 0) {
+        explicit_reducers = rs->sink_num_reducers;
+      }
+      if (!rs->sink_ascending.empty()) {
+        job.sort_ascending = rs->sink_ascending;
+      }
+    }
+    job.num_reducers =
+        explicit_reducers > 0 ? explicit_reducers : default_reducers;
+    // The reduce entry descriptor (shared child of all the job's RS ops).
+    for (const OpDescPtr& op : ops) {
+      if (op.get() == entry) {
+        job.reduce_root = op;
+        break;
+      }
+    }
+    if (job.reduce_root == nullptr) {
+      return Status::Internal("reduce entry not found");
+    }
+    int job_index = static_cast<int>(jobs.size());
+    record_sinks(job.reduce_root, job_index);
+    jobs.push_back(std::move(job));
+  }
+
+  // Map-only jobs: TableScan roots whose downstream region reaches FileSinks
+  // without any ReduceSink.
+  for (const OpDescPtr& root : plan->roots) {
+    if (root->kind != OpKind::kTableScan) continue;
+    bool has_rs = false;
+    {
+      std::vector<const OpDesc*> stack = {root.get()};
+      std::set<const OpDesc*> seen;
+      while (!stack.empty()) {
+        const OpDesc* cur = stack.back();
+        stack.pop_back();
+        if (!seen.insert(cur).second) continue;
+        if (cur->kind == OpKind::kReduceSink) {
+          has_rs = true;
+          break;
+        }
+        for (const OpDescPtr& child : cur->children) {
+          stack.push_back(child.get());
+        }
+      }
+    }
+    if (has_rs) continue;
+    MapRedJob job;
+    job.name = "job-" + std::to_string(jobs.size()) + "-maponly";
+    job.sources.push_back({root});
+    job.num_reducers = 0;
+    int job_index = static_cast<int>(jobs.size());
+    record_sinks(root, job_index);
+    jobs.push_back(std::move(job));
+  }
+
+  // ---- Step 3: dependencies via temporary directories.
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    for (const MapRedJob::MapSource& source : jobs[j].sources) {
+      if (source.root->scan_temp_prefix.empty()) continue;
+      auto it = producer_of.find(source.root->scan_temp_prefix);
+      if (it == producer_of.end()) {
+        return Status::Internal("no producer for temp dir " +
+                                source.root->scan_temp_prefix);
+      }
+      if (it->second != static_cast<int>(j)) {
+        jobs[j].deps.push_back(it->second);
+      }
+    }
+  }
+
+  // ---- Step 4: topological order (Kahn).
+  size_t n = jobs.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (int dep : jobs[j].deps) {
+      ++indegree[j];
+      dependents[dep].push_back(static_cast<int>(j));
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> queue;
+  for (size_t j = 0; j < n; ++j) {
+    if (indegree[j] == 0) queue.push_back(static_cast<int>(j));
+  }
+  while (!queue.empty()) {
+    int j = queue.back();
+    queue.pop_back();
+    order.push_back(j);
+    for (int dependent : dependents[j]) {
+      if (--indegree[dependent] == 0) queue.push_back(dependent);
+    }
+  }
+  if (order.size() != n) {
+    return Status::Internal("cyclic job dependencies");
+  }
+  std::vector<int> position(n);
+  for (size_t i = 0; i < n; ++i) position[order[i]] = static_cast<int>(i);
+  compiled.jobs.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    MapRedJob job = std::move(jobs[j]);
+    for (int& dep : job.deps) dep = position[dep];
+    compiled.jobs[position[j]] = std::move(job);
+  }
+  return compiled;
+}
+
+std::string CompiledPlan::DebugString() const {
+  std::string s;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const MapRedJob& job = jobs[j];
+    s += "=== " + job.name + (job.num_reducers == 0 ? " (map-only)" : "") +
+         " reducers=" + std::to_string(job.num_reducers) + "\n";
+    for (const auto& source : job.sources) {
+      s += source.root->DebugString(1);
+    }
+    if (job.reduce_root != nullptr) {
+      s += "  --- reduce ---\n";
+      s += job.reduce_root->DebugString(1);
+    }
+  }
+  return s;
+}
+
+}  // namespace minihive::ql

@@ -1,0 +1,30 @@
+#ifndef MINIHIVE_VEC_VECTORIZED_PIPELINE_H_
+#define MINIHIVE_VEC_VECTORIZED_PIPELINE_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "exec/operators.h"
+#include "formats/format.h"
+#include "mr/engine.h"
+
+namespace minihive::vec {
+
+/// Runs one map task's pipeline in vectorized mode (paper §6): the ORC
+/// reader produces VectorizedRowBatches, expressions run as tight-loop
+/// kernels over column vectors, and only the (few) rows surviving filters
+/// and aggregation cross back into the row world at the ReduceSink /
+/// FileSink boundary.
+///
+/// Returns NotImplemented when the pipeline is not vectorizable (wrong
+/// format, unsupported operator or expression, complex types); the caller
+/// then falls back to the row-mode pipeline — mirroring the validation step
+/// of Hive's vectorization optimizer (§6.4).
+Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
+                                const TypePtr& schema,
+                                formats::FormatKind format,
+                                const mr::InputSplit& split,
+                                exec::TaskContext* ctx);
+
+}  // namespace minihive::vec
+
+#endif  // MINIHIVE_VEC_VECTORIZED_PIPELINE_H_

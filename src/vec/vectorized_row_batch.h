@@ -1,0 +1,71 @@
+#ifndef MINIHIVE_VEC_VECTORIZED_ROW_BATCH_H_
+#define MINIHIVE_VEC_VECTORIZED_ROW_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "vec/column_vector.h"
+
+namespace minihive::vec {
+
+/// A batch of rows in columnar form (paper Figure 6). Expressions apply to
+/// whole column vectors; filters narrow the batch by populating `selected`
+/// with surviving row indexes and setting `selected_in_use` instead of
+/// copying data (paper §6.2).
+class VectorizedRowBatch {
+ public:
+  explicit VectorizedRowBatch(int capacity = kDefaultBatchSize)
+      : selected(capacity, 0), capacity_(capacity) {}
+
+  int capacity() const { return capacity_; }
+
+  /// Adds a column of the given primitive kind; returns its index.
+  int AddColumn(TypeKind kind) {
+    if (IsIntegerFamily(kind)) {
+      columns.push_back(std::make_unique<LongColumnVector>(capacity_));
+    } else if (IsFloatingFamily(kind)) {
+      columns.push_back(std::make_unique<DoubleColumnVector>(capacity_));
+    } else {
+      columns.push_back(std::make_unique<BytesColumnVector>(capacity_));
+    }
+    return static_cast<int>(columns.size()) - 1;
+  }
+
+  LongColumnVector* LongCol(int i) {
+    return static_cast<LongColumnVector*>(columns[i].get());
+  }
+  DoubleColumnVector* DoubleCol(int i) {
+    return static_cast<DoubleColumnVector*>(columns[i].get());
+  }
+  BytesColumnVector* BytesCol(int i) {
+    return static_cast<BytesColumnVector*>(columns[i].get());
+  }
+
+  /// Number of logically surviving rows (== size when !selected_in_use).
+  int SelectedCount() const { return selected_in_use ? selected_size : size; }
+
+  /// Resets to an empty, unfiltered batch (columns keep capacity).
+  void Reset() {
+    size = 0;
+    selected_in_use = false;
+    selected_size = 0;
+    for (auto& col : columns) col->Reset();
+  }
+
+  bool selected_in_use = false;
+  /// Indexes of surviving rows when selected_in_use; first selected_size
+  /// entries are valid and strictly increasing.
+  std::vector<int> selected;
+  int selected_size = 0;
+  /// Number of rows physically present in the batch.
+  int size = 0;
+  std::vector<ColumnVectorPtr> columns;
+
+ private:
+  int capacity_;
+};
+
+}  // namespace minihive::vec
+
+#endif  // MINIHIVE_VEC_VECTORIZED_ROW_BATCH_H_

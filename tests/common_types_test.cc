@@ -1,0 +1,58 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive {
+namespace {
+
+TEST(TypeDescriptionTest, PaperFigure3ColumnIds) {
+  // The example table from the paper's Figure 3.
+  auto result = TypeDescription::Parse(
+      "struct<col1:int,col2:array<int>,"
+      "col4:map<string,struct<col7:string,col8:int>>,col9:string>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  TypePtr schema = *result;
+  schema->AssignColumnIds(0);
+  EXPECT_EQ(schema->column_id(), 0);
+  EXPECT_EQ(schema->children()[0]->column_id(), 1);               // col1
+  EXPECT_EQ(schema->children()[1]->column_id(), 2);               // col2
+  EXPECT_EQ(schema->children()[1]->children()[0]->column_id(), 3);  // items
+  EXPECT_EQ(schema->children()[2]->column_id(), 4);               // col4
+  EXPECT_EQ(schema->children()[2]->children()[0]->column_id(), 5);  // key
+  EXPECT_EQ(schema->children()[2]->children()[1]->column_id(), 6);  // value
+  EXPECT_EQ(schema->children()[2]->children()[1]->children()[0]->column_id(),
+            7);                                                   // col7
+  EXPECT_EQ(schema->children()[2]->children()[1]->children()[1]->column_id(),
+            8);                                                   // col8
+  EXPECT_EQ(schema->children()[3]->column_id(), 9);               // col9
+  EXPECT_EQ(schema->ColumnCount(), 10);
+}
+
+TEST(TypeDescriptionTest, RoundTripToString) {
+  const char* text =
+      "struct<a:bigint,b:array<double>,c:map<string,int>,"
+      "d:uniontype<int,string>,e:boolean>";
+  auto result = TypeDescription::Parse(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->ToString(), text);
+}
+
+TEST(TypeDescriptionTest, ParseErrors) {
+  EXPECT_FALSE(TypeDescription::Parse("arry<int>").ok());
+  EXPECT_FALSE(TypeDescription::Parse("array<int").ok());
+  EXPECT_FALSE(TypeDescription::Parse("map<int>").ok());
+  EXPECT_FALSE(TypeDescription::Parse("struct<a int>").ok());
+  EXPECT_FALSE(TypeDescription::Parse("int,int").ok());
+}
+
+TEST(TypeKindTest, Families) {
+  EXPECT_TRUE(IsIntegerFamily(TypeKind::kBoolean));
+  EXPECT_TRUE(IsIntegerFamily(TypeKind::kTimestamp));
+  EXPECT_FALSE(IsIntegerFamily(TypeKind::kDouble));
+  EXPECT_TRUE(IsFloatingFamily(TypeKind::kFloat));
+  EXPECT_FALSE(IsPrimitive(TypeKind::kMap));
+  EXPECT_TRUE(IsPrimitive(TypeKind::kString));
+}
+
+}  // namespace
+}  // namespace minihive

@@ -1,0 +1,144 @@
+#include "dfs/file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive::dfs {
+namespace {
+
+TEST(FileSystemTest, CreateWriteReadDelete) {
+  FileSystem fs;
+  auto writer_result = fs.Create("/t/a");
+  ASSERT_TRUE(writer_result.ok());
+  auto writer = std::move(writer_result).ValueOrDie();
+  ASSERT_TRUE(writer->Append("hello ").ok());
+  ASSERT_TRUE(writer->Append("world").ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  EXPECT_TRUE(fs.Exists("/t/a"));
+  EXPECT_EQ(*fs.FileSize("/t/a"), 11u);
+
+  auto reader_result = fs.Open("/t/a");
+  ASSERT_TRUE(reader_result.ok());
+  auto reader = std::move(reader_result).ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(reader->ReadAt(6, 5, &out).ok());
+  EXPECT_EQ(out, "world");
+  EXPECT_FALSE(reader->ReadAt(6, 6, &out).ok());
+
+  ASSERT_TRUE(fs.Delete("/t/a").ok());
+  EXPECT_FALSE(fs.Exists("/t/a"));
+  EXPECT_FALSE(fs.Open("/t/a").ok());
+}
+
+TEST(FileSystemTest, DuplicateCreateFails) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.Create("/x").ok());
+  EXPECT_TRUE(fs.Create("/x").status().IsAlreadyExists());
+}
+
+TEST(FileSystemTest, OpenUnclosedFileFails) {
+  FileSystem fs;
+  auto writer = std::move(fs.Create("/y")).ValueOrDie();
+  EXPECT_FALSE(fs.Open("/y").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_TRUE(fs.Open("/y").ok());
+}
+
+TEST(FileSystemTest, ListAndTotalSize) {
+  FileSystem fs;
+  for (const char* path : {"/tbl/p1", "/tbl/p2", "/other/q"}) {
+    auto w = std::move(fs.Create(path)).ValueOrDie();
+    ASSERT_TRUE(w->Append("1234").ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  EXPECT_EQ(fs.List("/tbl/").size(), 2u);
+  EXPECT_EQ(fs.TotalSize("/tbl/"), 8u);
+  EXPECT_EQ(fs.List("/nope").size(), 0u);
+}
+
+TEST(FileSystemTest, IoStatsCountBytes) {
+  FileSystem fs;
+  auto w = std::move(fs.Create("/s")).ValueOrDie();
+  ASSERT_TRUE(w->Append(std::string(1000, 'x')).ok());
+  ASSERT_TRUE(w->Close().ok());
+  EXPECT_EQ(fs.stats().bytes_written.load(), 1000u);
+
+  auto r = std::move(fs.Open("/s")).ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(r->ReadAt(0, 600, &out).ok());
+  ASSERT_TRUE(r->ReadAt(600, 400, &out).ok());
+  EXPECT_EQ(fs.stats().bytes_read.load(), 1000u);
+  EXPECT_EQ(fs.stats().read_ops.load(), 2u);
+}
+
+TEST(FileSystemTest, BlockPaddingAndAlignment) {
+  FileSystemOptions options;
+  options.block_size = 1024;
+  FileSystem fs(options);
+  auto w = std::move(fs.Create("/pad")).ValueOrDie();
+  ASSERT_TRUE(w->Append(std::string(300, 'a')).ok());
+  EXPECT_EQ(w->RemainingInBlock(), 1024u - 300u);
+  ASSERT_TRUE(w->PadToBlockBoundary().ok());
+  EXPECT_EQ(w->Size(), 1024u);
+  EXPECT_EQ(w->RemainingInBlock(), 1024u);  // Full block available again.
+  ASSERT_TRUE(w->PadToBlockBoundary().ok());  // No-op at a boundary.
+  EXPECT_EQ(w->Size(), 1024u);
+  ASSERT_TRUE(w->Close().ok());
+}
+
+TEST(FileSystemTest, BlockLocationsAndLocality) {
+  FileSystemOptions options;
+  options.block_size = 100;
+  options.num_datanodes = 4;
+  options.replication = 2;
+  FileSystem fs(options);
+  auto w = std::move(fs.Create("/blocks")).ValueOrDie();
+  ASSERT_TRUE(w->Append(std::string(350, 'z')).ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  auto r = std::move(fs.Open("/blocks")).ValueOrDie();
+  auto locations = r->GetBlockLocations(0, 350);
+  ASSERT_EQ(locations.size(), 4u);
+  EXPECT_EQ(locations[0].offset, 0u);
+  EXPECT_EQ(locations[0].length, 100u);
+  EXPECT_EQ(locations[3].length, 50u);
+  for (const auto& loc : locations) {
+    EXPECT_EQ(loc.hosts.size(), 2u);
+  }
+
+  // Reading with the host that owns block 0 counts a local read.
+  int owner = locations[0].hosts[0];
+  std::string out;
+  ASSERT_TRUE(r->ReadAt(0, 50, &out, owner).ok());
+  EXPECT_EQ(fs.stats().local_block_reads.load(), 1u);
+  EXPECT_EQ(fs.stats().remote_block_reads.load(), 0u);
+
+  // An unknown host makes it remote.
+  int stranger = -1;
+  for (int h = 0; h < 4; ++h) {
+    if (h != locations[0].hosts[0] && h != locations[0].hosts[1]) {
+      stranger = h;
+      break;
+    }
+  }
+  ASSERT_TRUE(r->ReadAt(0, 50, &out, stranger).ok());
+  EXPECT_EQ(fs.stats().remote_block_reads.load(), 1u);
+}
+
+TEST(FileSystemTest, RangeReadSpanningBlocksCountsEachBlock) {
+  FileSystemOptions options;
+  options.block_size = 100;
+  FileSystem fs(options);
+  auto w = std::move(fs.Create("/span")).ValueOrDie();
+  ASSERT_TRUE(w->Append(std::string(250, 'q')).ok());
+  ASSERT_TRUE(w->Close().ok());
+  auto r = std::move(fs.Open("/span")).ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(r->ReadAt(50, 200, &out).ok());  // Touches blocks 0,1,2.
+  EXPECT_EQ(fs.stats().remote_block_reads.load() +
+                fs.stats().local_block_reads.load(),
+            3u);
+}
+
+}  // namespace
+}  // namespace minihive::dfs

@@ -1,0 +1,197 @@
+#include "exec/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive::exec {
+namespace {
+
+Row TestRow() {
+  return {Value::Int(10), Value::Double(2.5), Value::String("abc"),
+          Value::Null(), Value::Bool(true)};
+}
+
+TEST(ExprEvalTest, ColumnAndLiteral) {
+  Row row = TestRow();
+  EXPECT_EQ(Expr::Column(0, TypeKind::kBigInt)->Eval(row).AsInt(), 10);
+  EXPECT_EQ(Expr::Literal(Value::String("x"), TypeKind::kString)
+                ->Eval(row)
+                .AsString(),
+            "x");
+}
+
+TEST(ExprEvalTest, ArithmeticTypePromotion) {
+  Row row = TestRow();
+  // int + int stays integral.
+  ExprPtr int_add =
+      Expr::Binary(ExprKind::kAdd, Expr::Column(0, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(5), TypeKind::kBigInt));
+  EXPECT_EQ(int_add->result_type(), TypeKind::kBigInt);
+  EXPECT_TRUE(int_add->Eval(row).is_int());
+  EXPECT_EQ(int_add->Eval(row).AsInt(), 15);
+  // int * double promotes.
+  ExprPtr mixed =
+      Expr::Binary(ExprKind::kMul, Expr::Column(0, TypeKind::kBigInt),
+                   Expr::Column(1, TypeKind::kDouble));
+  EXPECT_EQ(mixed->result_type(), TypeKind::kDouble);
+  EXPECT_DOUBLE_EQ(mixed->Eval(row).AsDouble(), 25.0);
+  // Division is always double; division by zero yields NULL.
+  ExprPtr div =
+      Expr::Binary(ExprKind::kDiv, Expr::Column(0, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(0), TypeKind::kBigInt));
+  EXPECT_TRUE(div->Eval(row).is_null());
+}
+
+TEST(ExprEvalTest, NullPropagatesThroughArithmeticAndComparison) {
+  Row row = TestRow();
+  ExprPtr add =
+      Expr::Binary(ExprKind::kAdd, Expr::Column(3, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(1), TypeKind::kBigInt));
+  EXPECT_TRUE(add->Eval(row).is_null());
+  ExprPtr cmp =
+      Expr::Binary(ExprKind::kEq, Expr::Column(3, TypeKind::kBigInt),
+                   Expr::Column(3, TypeKind::kBigInt));
+  EXPECT_TRUE(cmp->Eval(row).is_null()) << "NULL = NULL is NULL, not true";
+}
+
+TEST(ExprEvalTest, KleeneAndOr) {
+  Row row = TestRow();
+  auto lit_true = Expr::Literal(Value::Bool(true), TypeKind::kBoolean);
+  auto lit_false = Expr::Literal(Value::Bool(false), TypeKind::kBoolean);
+  auto lit_null = Expr::Literal(Value::Null(), TypeKind::kBoolean);
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(
+      Expr::Binary(ExprKind::kAnd, lit_false, lit_null)->Eval(row).AsBool());
+  EXPECT_TRUE(
+      Expr::Binary(ExprKind::kAnd, lit_true, lit_null)->Eval(row).is_null());
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE(
+      Expr::Binary(ExprKind::kOr, lit_true, lit_null)->Eval(row).AsBool());
+  EXPECT_TRUE(
+      Expr::Binary(ExprKind::kOr, lit_false, lit_null)->Eval(row).is_null());
+  // NOT NULL = NULL.
+  EXPECT_TRUE(Expr::Not(lit_null)->Eval(row).is_null());
+}
+
+TEST(ExprEvalTest, BetweenAndIn) {
+  Row row = TestRow();
+  ExprPtr between = Expr::Between(
+      Expr::Column(0, TypeKind::kBigInt),
+      Expr::Literal(Value::Int(5), TypeKind::kBigInt),
+      Expr::Literal(Value::Int(10), TypeKind::kBigInt));
+  EXPECT_TRUE(between->Eval(row).AsBool());  // Inclusive upper bound.
+
+  ExprPtr in = Expr::In(
+      Expr::Column(2, TypeKind::kString),
+      {Expr::Literal(Value::String("xyz"), TypeKind::kString),
+       Expr::Literal(Value::String("abc"), TypeKind::kString)});
+  EXPECT_TRUE(in->Eval(row).AsBool());
+
+  // v IN (non-matching, NULL) is NULL, not FALSE (SQL semantics).
+  ExprPtr in_null = Expr::In(
+      Expr::Column(2, TypeKind::kString),
+      {Expr::Literal(Value::String("zzz"), TypeKind::kString),
+       Expr::Literal(Value::Null(), TypeKind::kString)});
+  EXPECT_TRUE(in_null->Eval(row).is_null());
+}
+
+TEST(ExprEvalTest, IsNullVariants) {
+  Row row = TestRow();
+  EXPECT_TRUE(Expr::IsNull(Expr::Column(3, TypeKind::kBigInt), false)
+                  ->Eval(row)
+                  .AsBool());
+  EXPECT_FALSE(Expr::IsNull(Expr::Column(0, TypeKind::kBigInt), false)
+                   ->Eval(row)
+                   .AsBool());
+  EXPECT_TRUE(Expr::IsNull(Expr::Column(0, TypeKind::kBigInt), true)
+                  ->Eval(row)
+                  .AsBool());
+}
+
+TEST(ExprTest, RemapColumnsRewritesTree) {
+  ExprPtr e = Expr::Binary(
+      ExprKind::kAdd, Expr::Column(2, TypeKind::kBigInt),
+      Expr::Binary(ExprKind::kMul, Expr::Column(5, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(3), TypeKind::kBigInt)));
+  std::vector<int> mapping(6, -1);
+  mapping[2] = 0;
+  mapping[5] = 1;
+  ExprPtr remapped = e->RemapColumns(mapping);
+  Row row = {Value::Int(100), Value::Int(7)};
+  EXPECT_EQ(remapped->Eval(row).AsInt(), 121);
+  // The original tree is untouched.
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{2, 5}));
+}
+
+TEST(ExprTest, CollectColumnsDeduplicates) {
+  ExprPtr e = Expr::Binary(
+      ExprKind::kAdd, Expr::Column(4, TypeKind::kBigInt),
+      Expr::Binary(ExprKind::kAdd, Expr::Column(1, TypeKind::kBigInt),
+                   Expr::Column(4, TypeKind::kBigInt)));
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{1, 4}));
+}
+
+TEST(AggDescTest, PartialArityAndResultTypes) {
+  AggDesc avg{AggKind::kAvg, Expr::Column(0, TypeKind::kBigInt)};
+  EXPECT_EQ(avg.PartialArity(), 2);
+  EXPECT_EQ(avg.ResultType(), TypeKind::kDouble);
+  AggDesc count{AggKind::kCountStar, nullptr};
+  EXPECT_EQ(count.PartialArity(), 1);
+  EXPECT_EQ(count.ResultType(), TypeKind::kBigInt);
+  AggDesc sum_double{AggKind::kSum, Expr::Column(0, TypeKind::kDouble)};
+  EXPECT_EQ(sum_double.ResultType(), TypeKind::kDouble);
+  AggDesc min_string{AggKind::kMin, Expr::Column(0, TypeKind::kString)};
+  EXPECT_EQ(min_string.ResultType(), TypeKind::kString);
+}
+
+TEST(AggBufferTest, SumOfAllNullsIsNull) {
+  AggDesc desc{AggKind::kSum, Expr::Column(0, TypeKind::kBigInt)};
+  AggBuffer buffer(&desc);
+  buffer.Update({Value::Null()});
+  buffer.Update({Value::Null()});
+  Row out;
+  buffer.EmitFinal(&out);
+  EXPECT_TRUE(out[0].is_null());
+}
+
+TEST(AggBufferTest, MinMaxStrings) {
+  AggDesc min_desc{AggKind::kMin, Expr::Column(0, TypeKind::kString)};
+  AggDesc max_desc{AggKind::kMax, Expr::Column(0, TypeKind::kString)};
+  AggBuffer min_buffer(&min_desc);
+  AggBuffer max_buffer(&max_desc);
+  for (const char* s : {"pear", "apple", "zucchini", "mango"}) {
+    min_buffer.Update({Value::String(s)});
+    max_buffer.Update({Value::String(s)});
+  }
+  Row out;
+  min_buffer.EmitFinal(&out);
+  max_buffer.EmitFinal(&out);
+  EXPECT_EQ(out[0].AsString(), "apple");
+  EXPECT_EQ(out[1].AsString(), "zucchini");
+}
+
+TEST(AggBufferTest, PartialMergeEquivalence) {
+  // Update-everything vs split-into-partials-and-merge must agree.
+  AggDesc desc{AggKind::kAvg, Expr::Column(0, TypeKind::kBigInt)};
+  AggBuffer whole(&desc);
+  AggBuffer part1(&desc), part2(&desc), merged(&desc);
+  for (int i = 1; i <= 10; ++i) {
+    whole.Update({Value::Int(i)});
+    (i <= 4 ? part1 : part2).Update({Value::Int(i)});
+  }
+  Row p1, p2;
+  part1.EmitPartial(&p1);
+  part2.EmitPartial(&p2);
+  merged.Merge(p1, 0);
+  merged.Merge(p2, 0);
+  Row expect_row, got_row;
+  whole.EmitFinal(&expect_row);
+  merged.EmitFinal(&got_row);
+  EXPECT_DOUBLE_EQ(expect_row[0].AsDouble(), got_row[0].AsDouble());
+}
+
+}  // namespace
+}  // namespace minihive::exec

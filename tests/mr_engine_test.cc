@@ -1,0 +1,212 @@
+#include "mr/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace minihive::mr {
+namespace {
+
+/// Map task: emits (value % buckets, value) for each of its assigned
+/// synthetic records (the split length doubles as a record count).
+class ModuloMapTask : public MapTask {
+ public:
+  explicit ModuloMapTask(int buckets) : buckets_(buckets) {}
+  Status Run(const InputSplit& split, int task_index,
+             ShuffleEmitter* emitter) override {
+    (void)task_index;
+    for (uint64_t i = split.offset; i < split.offset + split.length; ++i) {
+      MINIHIVE_RETURN_IF_ERROR(
+          emitter->Emit({Value::Int(static_cast<int64_t>(i % buckets_))},
+                        {Value::Int(static_cast<int64_t>(i))}, 0));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int buckets_;
+};
+
+/// Reduce task: records group transitions and per-group sums into a shared
+/// sink (mutex-guarded).
+struct GroupRecord {
+  int64_t key;
+  int64_t sum = 0;
+  int64_t count = 0;
+};
+
+class CollectingReduceTask : public ReduceTask {
+ public:
+  CollectingReduceTask(std::mutex* mutex, std::vector<GroupRecord>* sink)
+      : mutex_(mutex), sink_(sink) {}
+
+  Status StartGroup(const Row& key) override {
+    if (open_) return Status::Internal("nested StartGroup");
+    open_ = true;
+    current_ = GroupRecord{key[0].AsInt()};
+    return Status::OK();
+  }
+  Status Reduce(const Row& key, const Row& value, int tag) override {
+    if (!open_) return Status::Internal("Reduce outside group");
+    if (key[0].AsInt() != current_.key) {
+      return Status::Internal("key changed within group");
+    }
+    if (tag != 0) return Status::Internal("unexpected tag");
+    current_.sum += value[0].AsInt();
+    ++current_.count;
+    return Status::OK();
+  }
+  Status EndGroup() override {
+    if (!open_) return Status::Internal("EndGroup without StartGroup");
+    open_ = false;
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->push_back(current_);
+    return Status::OK();
+  }
+  Status Finish() override {
+    return open_ ? Status::Internal("Finish with open group") : Status::OK();
+  }
+
+ private:
+  std::mutex* mutex_;
+  std::vector<GroupRecord>* sink_;
+  bool open_ = false;
+  GroupRecord current_{0};
+};
+
+TEST(EngineTest, GroupSignalsAndPartitioning) {
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{4, 0});
+  JobConfig job;
+  job.name = "wordcount-ish";
+  // 10 splits of 1000 synthetic records each.
+  for (int s = 0; s < 10; ++s) {
+    job.splits.push_back({"", static_cast<uint64_t>(s) * 1000, 1000, -1, 0});
+  }
+  job.num_reducers = 4;
+  job.map_factory = [] { return std::make_unique<ModuloMapTask>(97); };
+  std::mutex mutex;
+  std::vector<GroupRecord> groups;
+  job.reduce_factory = [&](int) {
+    return std::make_unique<CollectingReduceTask>(&mutex, &groups);
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+
+  // 97 distinct keys, each appearing exactly once across all reducers.
+  ASSERT_EQ(groups.size(), 97u);
+  std::map<int64_t, GroupRecord> by_key;
+  for (const GroupRecord& g : groups) {
+    ASSERT_EQ(by_key.count(g.key), 0u) << "key split across groups";
+    by_key[g.key] = g;
+  }
+  int64_t total = 0;
+  int64_t count = 0;
+  for (auto& [key, g] : by_key) {
+    total += g.sum;
+    count += g.count;
+  }
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(total, 9999LL * 10000 / 2);
+  EXPECT_EQ(counters.map_output_records.load(), 10000u);
+  EXPECT_EQ(counters.reduce_input_records.load(), 10000u);
+  EXPECT_EQ(counters.map_tasks, 10);
+  EXPECT_EQ(counters.reduce_tasks, 4);
+  EXPECT_GT(counters.cpu_nanos.load(), 0);
+}
+
+TEST(EngineTest, SortOrderWithinPartition) {
+  // Keys within a reduce partition must arrive in sorted order, honouring
+  // per-column direction.
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{1, 0});
+  JobConfig job;
+  job.splits.push_back({"", 0, 500, -1, 0});
+  job.num_reducers = 1;
+  job.sort_ascending = {false};  // Descending.
+  job.map_factory = [] { return std::make_unique<ModuloMapTask>(50); };
+  std::mutex mutex;
+  std::vector<GroupRecord> groups;
+  job.reduce_factory = [&](int) {
+    return std::make_unique<CollectingReduceTask>(&mutex, &groups);
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+  ASSERT_EQ(groups.size(), 50u);
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GT(groups[i - 1].key, groups[i].key) << "descending order broken";
+  }
+}
+
+TEST(EngineTest, MapErrorPropagates) {
+  class FailingMapTask : public MapTask {
+   public:
+    Status Run(const InputSplit&, int, ShuffleEmitter*) override {
+      return Status::IoError("synthetic map failure");
+    }
+  };
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{2, 0});
+  JobConfig job;
+  job.splits.push_back({"", 0, 10, -1, 0});
+  job.map_factory = [] { return std::make_unique<FailingMapTask>(); };
+  JobCounters counters;
+  Status status = engine.RunJob(job, &counters);
+  EXPECT_TRUE(status.IsIoError()) << status.ToString();
+}
+
+TEST(EngineTest, MapOnlyJobSkipsShuffle) {
+  class CountingMapTask : public MapTask {
+   public:
+    explicit CountingMapTask(std::atomic<int>* runs) : runs_(runs) {}
+    Status Run(const InputSplit&, int, ShuffleEmitter*) override {
+      runs_->fetch_add(1);
+      return Status::OK();
+    }
+    std::atomic<int>* runs_;
+  };
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{2, 0});
+  std::atomic<int> runs{0};
+  JobConfig job;
+  for (int i = 0; i < 5; ++i) job.splits.push_back({"", 0, 1, -1, 0});
+  job.num_reducers = 0;
+  job.map_factory = [&] { return std::make_unique<CountingMapTask>(&runs); };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+  EXPECT_EQ(runs.load(), 5);
+  EXPECT_EQ(counters.reduce_tasks, 0);
+}
+
+TEST(ComputeSplitsTest, SplitsCoverFilesWithLocality) {
+  dfs::FileSystemOptions options;
+  options.block_size = 1000;
+  dfs::FileSystem fs(options);
+  auto w = std::move(fs.Create("/data")).ValueOrDie();
+  ASSERT_TRUE(w->Append(std::string(3500, 'x')).ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  std::vector<InputSplit> splits = ComputeSplits(&fs, {"/data"}, 1000, 7);
+  ASSERT_EQ(splits.size(), 4u);
+  uint64_t covered = 0;
+  for (const InputSplit& split : splits) {
+    EXPECT_EQ(split.source_tag, 7);
+    EXPECT_GE(split.locality_host, 0);
+    covered += split.length;
+  }
+  EXPECT_EQ(covered, 3500u);
+}
+
+TEST(EstimateRowBytesTest, GrowsWithContent) {
+  Row small = {Value::Int(1)};
+  Row big = {Value::Int(1), Value::String(std::string(100, 'x')),
+             Value::Double(1.5)};
+  EXPECT_LT(EstimateRowBytes(small), EstimateRowBytes(big));
+  EXPECT_GE(EstimateRowBytes(big), 100u);
+}
+
+}  // namespace
+}  // namespace minihive::mr

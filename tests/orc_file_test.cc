@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "orc/reader.h"
+#include "orc/writer.h"
+
+namespace minihive::orc {
+namespace {
+
+TypePtr FlatSchema() {
+  return *TypeDescription::Parse(
+      "struct<id:bigint,name:string,score:double,flag:boolean,small:tinyint>");
+}
+
+Row FlatRow(int64_t i) {
+  return {Value::Int(i), Value::String("name-" + std::to_string(i % 50)),
+          Value::Double(i * 0.5), Value::Bool(i % 3 == 0),
+          Value::Int((i % 256) - 128)};
+}
+
+void WriteFlatFile(dfs::FileSystem* fs, const std::string& path, int rows,
+                   OrcWriterOptions options = OrcWriterOptions()) {
+  auto writer =
+      std::move(OrcWriter::Create(fs, path, FlatSchema(), options))
+          .ValueOrDie();
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(writer->AddRow(FlatRow(i)).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+}
+
+TEST(OrcFileTest, FlatRoundTrip) {
+  dfs::FileSystem fs;
+  WriteFlatFile(&fs, "/orc/flat", 25000);
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/flat")).ValueOrDie();
+  EXPECT_EQ(reader->tail().num_rows, 25000u);
+  Row row;
+  for (int i = 0; i < 25000; ++i) {
+    auto next = reader->NextRow(&row);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(*next) << "EOF at " << i;
+    ASSERT_EQ(row[0].AsInt(), i);
+    ASSERT_EQ(row[1].AsString(), "name-" + std::to_string(i % 50));
+    ASSERT_DOUBLE_EQ(row[2].AsDouble(), i * 0.5);
+    ASSERT_EQ(row[3].AsBool(), i % 3 == 0);
+    ASSERT_EQ(row[4].AsInt(), (i % 256) - 128);
+  }
+  EXPECT_FALSE(*reader->NextRow(&row));
+}
+
+TEST(OrcFileTest, NullsRoundTrip) {
+  dfs::FileSystem fs;
+  auto writer =
+      std::move(OrcWriter::Create(&fs, "/orc/nulls", FlatSchema()))
+          .ValueOrDie();
+  Random rng(5);
+  std::vector<Row> rows;
+  for (int i = 0; i < 3000; ++i) {
+    Row row = FlatRow(i);
+    for (auto& v : row) {
+      if (rng.Bernoulli(0.3)) v = Value::Null();
+    }
+    rows.push_back(row);
+    ASSERT_TRUE(writer->AddRow(row).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/nulls")).ValueOrDie();
+  Row row;
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(*reader->NextRow(&row));
+    for (size_t c = 0; c < row.size(); ++c) {
+      EXPECT_EQ(row[c].Compare(rows[i][c]), 0)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(OrcFileTest, ComplexTypesDecomposedAndRoundTrip) {
+  // The paper's Figure 3 schema, including map-of-struct.
+  dfs::FileSystem fs;
+  TypePtr schema = *TypeDescription::Parse(
+      "struct<col1:int,col2:array<int>,"
+      "col4:map<string,struct<col7:string,col8:int>>,col9:string>");
+  auto writer =
+      std::move(OrcWriter::Create(&fs, "/orc/nested", schema)).ValueOrDie();
+  std::vector<Row> rows;
+  Random rng(6);
+  for (int i = 0; i < 500; ++i) {
+    Value::Array arr;
+    for (uint64_t j = 0; j < rng.Uniform(5); ++j) {
+      arr.push_back(rng.Bernoulli(0.2) ? Value::Null()
+                                       : Value::Int(rng.Range(0, 100)));
+    }
+    Value::MapEntries map;
+    for (uint64_t j = 0; j < rng.Uniform(3); ++j) {
+      map.push_back(
+          {Value::String(rng.NextString(4)),
+           Value::MakeStruct({Value::String(rng.NextString(6)),
+                              Value::Int(rng.Range(-10, 10))})});
+    }
+    Row row = {rng.Bernoulli(0.1) ? Value::Null() : Value::Int(i),
+               Value::MakeArray(std::move(arr)),
+               Value::MakeMap(std::move(map)), Value::String("r" +
+               std::to_string(i))};
+    rows.push_back(row);
+    ASSERT_TRUE(writer->AddRow(row).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/nested")).ValueOrDie();
+  Row row;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(*reader->NextRow(&row)) << i;
+    for (size_t c = 0; c < row.size(); ++c) {
+      EXPECT_EQ(row[c].Compare(rows[i][c]), 0)
+          << "row " << i << " col " << c << ": " << row[c].ToString()
+          << " vs " << rows[i][c].ToString();
+    }
+  }
+}
+
+TEST(OrcFileTest, UnionRoundTrip) {
+  dfs::FileSystem fs;
+  TypePtr schema =
+      *TypeDescription::Parse("struct<u:uniontype<int,string>>");
+  auto writer =
+      std::move(OrcWriter::Create(&fs, "/orc/union", schema)).ValueOrDie();
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) {
+    Row row = {i % 3 == 0
+                   ? Value::MakeUnion(0, Value::Int(i))
+                   : (i % 3 == 1 ? Value::MakeUnion(
+                                       1, Value::String(std::to_string(i)))
+                                 : Value::Null())};
+    rows.push_back(row);
+    ASSERT_TRUE(writer->AddRow(row).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/union")).ValueOrDie();
+  Row row;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(*reader->NextRow(&row));
+    EXPECT_EQ(row[0].Compare(rows[i][0]), 0) << i;
+  }
+}
+
+TEST(OrcFileTest, MultipleStripes) {
+  dfs::FileSystem fs;
+  OrcWriterOptions options;
+  options.stripe_size = 64 * 1024;  // Force several stripes.
+  WriteFlatFile(&fs, "/orc/stripes", 60000, options);
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/stripes")).ValueOrDie();
+  EXPECT_GT(reader->tail().stripes.size(), 2u);
+  Row row;
+  int count = 0;
+  while (*reader->NextRow(&row)) {
+    ASSERT_EQ(row[0].AsInt(), count);
+    ++count;
+  }
+  EXPECT_EQ(count, 60000);
+}
+
+TEST(OrcFileTest, FileStatisticsAnswerAggregates) {
+  dfs::FileSystem fs;
+  WriteFlatFile(&fs, "/orc/stats", 10000);
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/stats")).ValueOrDie();
+  const FileTail& tail = reader->tail();
+  // Column id 1 = "id" (root is 0).
+  const ColumnStatistics& id_stats = tail.file_stats[1];
+  EXPECT_EQ(id_stats.num_values(), 10000u);
+  EXPECT_EQ(id_stats.int_min(), 0);
+  EXPECT_EQ(id_stats.int_max(), 9999);
+  EXPECT_EQ(id_stats.int_sum(), 10000LL * 9999 / 2);
+  const ColumnStatistics& name_stats = tail.file_stats[2];
+  EXPECT_TRUE(name_stats.has_string_stats());
+  EXPECT_EQ(name_stats.string_min(), "name-0");
+  const ColumnStatistics& score_stats = tail.file_stats[3];
+  EXPECT_DOUBLE_EQ(score_stats.double_max(), 9999 * 0.5);
+}
+
+TEST(OrcFileTest, DictionaryEncodingChosenForLowCardinality) {
+  dfs::FileSystem fs;
+  // 50 distinct names over 25000 rows -> ratio 0.002 << 0.8: dictionary.
+  WriteFlatFile(&fs, "/orc/dict", 25000);
+  uint64_t dict_size = *fs.FileSize("/orc/dict");
+
+  // Now a file where every name is unique -> ratio 1.0 > 0.8: direct.
+  auto writer = std::move(OrcWriter::Create(&fs, "/orc/direct", FlatSchema()))
+                    .ValueOrDie();
+  for (int i = 0; i < 25000; ++i) {
+    Row row = FlatRow(i);
+    row[1] = Value::String("unique-name-" + std::to_string(i));
+    ASSERT_TRUE(writer->AddRow(row).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t direct_size = *fs.FileSize("/orc/direct");
+  EXPECT_LT(dict_size, direct_size);
+
+  // Both still round-trip.
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/direct")).ValueOrDie();
+  Row row;
+  ASSERT_TRUE(*reader->NextRow(&row));
+  EXPECT_EQ(row[1].AsString(), "unique-name-0");
+}
+
+TEST(OrcFileTest, ProjectionReadsOnlyNeededStreams) {
+  dfs::FileSystem fs;
+  WriteFlatFile(&fs, "/orc/proj", 50000);
+  auto scan = [&](std::vector<int> fields) {
+    fs.stats().Reset();
+    OrcReadOptions options;
+    options.projected_fields = std::move(fields);
+    auto reader =
+        std::move(OrcReader::Open(&fs, "/orc/proj", options)).ValueOrDie();
+    Row row;
+    while (*reader->NextRow(&row)) {
+    }
+    return fs.stats().bytes_read.load();
+  };
+  uint64_t all = scan({});
+  uint64_t just_id = scan({0});
+  EXPECT_LT(just_id, all / 2);
+}
+
+TEST(OrcFileTest, SargSkipsStripes) {
+  dfs::FileSystem fs;
+  OrcWriterOptions options;
+  options.stripe_size = 64 * 1024;
+  WriteFlatFile(&fs, "/orc/skip", 60000, options);
+
+  SearchArgument sarg;
+  sarg.AddLeaf({0, PredicateOp::kBetween, Value::Int(100), Value::Int(200),
+                {}});
+  OrcReadOptions ropts;
+  ropts.sarg = &sarg;
+  auto reader =
+      std::move(OrcReader::Open(&fs, "/orc/skip", ropts)).ValueOrDie();
+  EXPECT_GT(reader->stripes_skipped(), 0u);
+  Row row;
+  int matches = 0;
+  while (*reader->NextRow(&row)) {
+    // Selected groups may contain non-matching rows; the row-level filter is
+    // the execution engine's job. Count true matches only.
+    int64_t id = row[0].AsInt();
+    if (id >= 100 && id <= 200) ++matches;
+  }
+  EXPECT_EQ(matches, 101);
+}
+
+TEST(OrcFileTest, SargSkipsIndexGroupsAndCutsBytes) {
+  dfs::FileSystem fs;
+  OrcWriterOptions options;
+  options.row_index_stride = 1000;
+  WriteFlatFile(&fs, "/orc/groups", 100000, options);
+
+  // Full scan bytes.
+  fs.stats().Reset();
+  {
+    auto reader = std::move(OrcReader::Open(&fs, "/orc/groups")).ValueOrDie();
+    Row row;
+    while (*reader->NextRow(&row)) {
+    }
+  }
+  uint64_t full_bytes = fs.stats().bytes_read.load();
+
+  // Selective scan: a narrow id range covers 1 of 100 groups.
+  SearchArgument sarg;
+  sarg.AddLeaf({0, PredicateOp::kBetween, Value::Int(50000), Value::Int(50010),
+                {}});
+  fs.stats().Reset();
+  OrcReadOptions ropts;
+  ropts.sarg = &sarg;
+  auto reader =
+      std::move(OrcReader::Open(&fs, "/orc/groups", ropts)).ValueOrDie();
+  Row row;
+  int rows = 0;
+  while (*reader->NextRow(&row)) ++rows;
+  uint64_t selective_bytes = fs.stats().bytes_read.load();
+  EXPECT_GT(reader->groups_skipped(), 90u);
+  EXPECT_EQ(rows, 1000);  // One index group's worth.
+  EXPECT_LT(selective_bytes, full_bytes / 5)
+      << "index groups should cut bytes read";
+}
+
+TEST(OrcFileTest, SargOnAllMatchingDataAddsOnlyIndexOverhead) {
+  dfs::FileSystem fs;
+  OrcWriterOptions options;
+  options.row_index_stride = 1000;
+  WriteFlatFile(&fs, "/orc/hard", 50000, options);
+
+  fs.stats().Reset();
+  {
+    auto reader = std::move(OrcReader::Open(&fs, "/orc/hard")).ValueOrDie();
+    Row row;
+    while (*reader->NextRow(&row)) {
+    }
+  }
+  uint64_t no_ppd_bytes = fs.stats().bytes_read.load();
+
+  SearchArgument sarg;  // Matches everything.
+  sarg.AddLeaf({0, PredicateOp::kGreaterThanEquals, Value::Int(-1), {}, {}});
+  fs.stats().Reset();
+  OrcReadOptions ropts;
+  ropts.sarg = &sarg;
+  auto reader =
+      std::move(OrcReader::Open(&fs, "/orc/hard", ropts)).ValueOrDie();
+  Row row;
+  int rows = 0;
+  while (*reader->NextRow(&row)) ++rows;
+  uint64_t ppd_bytes = fs.stats().bytes_read.load();
+  EXPECT_EQ(rows, 50000);
+  EXPECT_GT(ppd_bytes, no_ppd_bytes);  // Index data is extra...
+  EXPECT_LT(ppd_bytes, no_ppd_bytes + no_ppd_bytes / 4)  // ...but small.
+      << "index overhead should be modest (paper: ~40MB on 17GB)";
+}
+
+TEST(OrcFileTest, VectorizedBatchMatchesRowMode) {
+  dfs::FileSystem fs;
+  WriteFlatFile(&fs, "/orc/vec", 10000);
+  OrcReadOptions options;
+  options.projected_fields = {0, 2, 1};
+  auto row_reader =
+      std::move(OrcReader::Open(&fs, "/orc/vec", options)).ValueOrDie();
+  auto batch_reader =
+      std::move(OrcReader::Open(&fs, "/orc/vec", options)).ValueOrDie();
+  auto batch = std::move(batch_reader->CreateBatch()).ValueOrDie();
+  Row row;
+  int checked = 0;
+  while (true) {
+    auto more = batch_reader->NextBatch(batch.get());
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    auto* ids = batch->LongCol(0);
+    auto* scores = batch->DoubleCol(1);
+    auto* names = batch->BytesCol(2);
+    for (int i = 0; i < batch->size; ++i) {
+      ASSERT_TRUE(*row_reader->NextRow(&row));
+      EXPECT_EQ(ids->vector[i], row[0].AsInt());
+      EXPECT_DOUBLE_EQ(scores->vector[i], row[2].AsDouble());
+      EXPECT_EQ(names->GetView(i), row[1].AsString());
+      ++checked;
+    }
+    EXPECT_TRUE(ids->no_nulls);
+  }
+  EXPECT_EQ(checked, 10000);
+  EXPECT_FALSE(*row_reader->NextRow(&row));
+}
+
+TEST(OrcFileTest, VectorizedBatchWithNulls) {
+  dfs::FileSystem fs;
+  auto writer =
+      std::move(OrcWriter::Create(&fs, "/orc/vecnull", FlatSchema()))
+          .ValueOrDie();
+  for (int i = 0; i < 2000; ++i) {
+    Row row = FlatRow(i);
+    if (i % 7 == 0) row[0] = Value::Null();
+    ASSERT_TRUE(writer->AddRow(row).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  OrcReadOptions options;
+  options.projected_fields = {0};
+  auto reader =
+      std::move(OrcReader::Open(&fs, "/orc/vecnull", options)).ValueOrDie();
+  auto batch = std::move(reader->CreateBatch()).ValueOrDie();
+  int i = 0;
+  while (*reader->NextBatch(batch.get())) {
+    auto* ids = batch->LongCol(0);
+    EXPECT_FALSE(ids->no_nulls);
+    for (int j = 0; j < batch->size; ++j, ++i) {
+      if (i % 7 == 0) {
+        EXPECT_FALSE(ids->not_null[j]) << i;
+      } else {
+        ASSERT_TRUE(ids->not_null[j]) << i;
+        EXPECT_EQ(ids->vector[j], i);
+      }
+    }
+  }
+  EXPECT_EQ(i, 2000);
+}
+
+TEST(OrcFileTest, StripeAlignmentKeepsStripesInOneBlock) {
+  dfs::FileSystemOptions fs_options;
+  fs_options.block_size = 256 * 1024;
+  dfs::FileSystem fs(fs_options);
+  OrcWriterOptions options;
+  options.stripe_size = 150 * 1024;
+  options.align_stripes_to_blocks = true;
+  WriteFlatFile(&fs, "/orc/aligned", 120000, options);
+
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/aligned")).ValueOrDie();
+  ASSERT_GT(reader->tail().stripes.size(), 1u);
+  for (const StripeInformation& stripe : reader->tail().stripes) {
+    uint64_t stripe_len =
+        stripe.index_length + stripe.data_length + stripe.footer_length;
+    if (stripe_len > fs_options.block_size) continue;  // Cannot fit anyway.
+    uint64_t first_block = stripe.offset / fs_options.block_size;
+    uint64_t last_block =
+        (stripe.offset + stripe_len - 1) / fs_options.block_size;
+    EXPECT_EQ(first_block, last_block)
+        << "aligned stripe spans blocks at offset " << stripe.offset;
+  }
+}
+
+TEST(OrcFileTest, SplitByStripeOffsetsCoversFileOnce) {
+  dfs::FileSystem fs;
+  OrcWriterOptions options;
+  options.stripe_size = 64 * 1024;
+  WriteFlatFile(&fs, "/orc/split", 60000, options);
+  uint64_t file_size = *fs.FileSize("/orc/split");
+  uint64_t half = file_size / 2;
+  int total = 0;
+  for (auto [off, len] : {std::pair<uint64_t, uint64_t>{0, half},
+                          std::pair<uint64_t, uint64_t>{half,
+                                                        file_size - half}}) {
+    OrcReadOptions ropts;
+    ropts.split_offset = off;
+    ropts.split_length = len;
+    auto reader =
+        std::move(OrcReader::Open(&fs, "/orc/split", ropts)).ValueOrDie();
+    Row row;
+    while (*reader->NextRow(&row)) ++total;
+  }
+  EXPECT_EQ(total, 60000);
+}
+
+TEST(OrcMemoryManagerTest, ScalesConcurrentWriters) {
+  MemoryManager manager(1000);
+  EXPECT_DOUBLE_EQ(manager.Scale(), 1.0);
+  int w1, w2, w3;
+  manager.AddWriter(&w1, 600);
+  EXPECT_DOUBLE_EQ(manager.Scale(), 1.0);
+  manager.AddWriter(&w2, 600);
+  EXPECT_NEAR(manager.Scale(), 1000.0 / 1200.0, 1e-9);
+  manager.AddWriter(&w3, 800);
+  EXPECT_NEAR(manager.Scale(), 1000.0 / 2000.0, 1e-9);
+  manager.RemoveWriter(&w2);
+  EXPECT_NEAR(manager.Scale(), 1000.0 / 1400.0, 1e-9);
+  manager.RemoveWriter(&w1);
+  manager.RemoveWriter(&w3);
+  EXPECT_DOUBLE_EQ(manager.Scale(), 1.0);
+  manager.RemoveWriter(&w3);  // Idempotent.
+}
+
+TEST(OrcMemoryManagerTest, WritersFlushSmallerStripesUnderPressure) {
+  dfs::FileSystem fs;
+  MemoryManager manager(256 * 1024);
+  OrcWriterOptions options;
+  options.stripe_size = 1024 * 1024;
+  options.memory_manager = &manager;
+  // Two concurrent writers: each effective stripe ~128 KB, so writing
+  // ~1 MB of data each should produce multiple stripes per file.
+  auto w1 = std::move(OrcWriter::Create(&fs, "/orc/mm1", FlatSchema(),
+                                        options))
+                .ValueOrDie();
+  auto w2 = std::move(OrcWriter::Create(&fs, "/orc/mm2", FlatSchema(),
+                                        options))
+                .ValueOrDie();
+  for (int i = 0; i < 30000; ++i) {
+    ASSERT_TRUE(w1->AddRow(FlatRow(i)).ok());
+    ASSERT_TRUE(w2->AddRow(FlatRow(i)).ok());
+  }
+  ASSERT_TRUE(w1->Close().ok());
+  ASSERT_TRUE(w2->Close().ok());
+  EXPECT_GT(w1->stripes_written(), 1u)
+      << "memory manager should have forced early stripe flushes";
+}
+
+TEST(OrcFileTest, EmptyFile) {
+  dfs::FileSystem fs;
+  auto writer =
+      std::move(OrcWriter::Create(&fs, "/orc/empty", FlatSchema()))
+          .ValueOrDie();
+  ASSERT_TRUE(writer->Close().ok());
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/empty")).ValueOrDie();
+  EXPECT_EQ(reader->tail().num_rows, 0u);
+  Row row;
+  EXPECT_FALSE(*reader->NextRow(&row));
+}
+
+TEST(OrcFileTest, CompressionShrinksFile) {
+  dfs::FileSystem fs;
+  WriteFlatFile(&fs, "/orc/raw", 30000);
+  OrcWriterOptions options;
+  options.compression = codec::CompressionKind::kFastLz;
+  WriteFlatFile(&fs, "/orc/snappy", 30000, options);
+  EXPECT_LT(*fs.FileSize("/orc/snappy"), *fs.FileSize("/orc/raw"));
+  // And still readable.
+  auto reader = std::move(OrcReader::Open(&fs, "/orc/snappy")).ValueOrDie();
+  Row row;
+  int count = 0;
+  while (*reader->NextRow(&row)) ++count;
+  EXPECT_EQ(count, 30000);
+}
+
+}  // namespace
+}  // namespace minihive::orc

@@ -1,0 +1,134 @@
+// Serialization round-trips for the ORC physical-layout structures.
+
+#include "orc/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive::orc {
+namespace {
+
+TEST(StripeFooterTest, RoundTrip) {
+  StripeFooter footer;
+  footer.streams = {{0, StreamKind::kPresent, 120},
+                    {1, StreamKind::kData, 4096},
+                    {1, StreamKind::kDictionaryData, 999},
+                    {2, StreamKind::kLength, 32}};
+  footer.encodings = {ColumnEncoding::kDirect, ColumnEncoding::kDictionary,
+                      ColumnEncoding::kDirect};
+  footer.dictionary_sizes = {0, 57, 0};
+  footer.num_groups = 2;
+  footer.instance_counts = {{10, 20}, {10, 20}, {33, 44}};
+  footer.nonnull_counts = {{10, 20}, {9, 18}, {30, 40}};
+
+  std::string bytes;
+  footer.Serialize(&bytes);
+  StripeFooter restored;
+  ASSERT_TRUE(StripeFooter::Deserialize(bytes, &restored).ok());
+  ASSERT_EQ(restored.streams.size(), 4u);
+  EXPECT_EQ(restored.streams[2].kind, StreamKind::kDictionaryData);
+  EXPECT_EQ(restored.streams[2].length, 999u);
+  EXPECT_EQ(restored.encodings[1], ColumnEncoding::kDictionary);
+  EXPECT_EQ(restored.dictionary_sizes[1], 57u);
+  EXPECT_EQ(restored.num_groups, 2u);
+  EXPECT_EQ(restored.instance_counts, footer.instance_counts);
+  EXPECT_EQ(restored.nonnull_counts, footer.nonnull_counts);
+}
+
+TEST(StripeFooterTest, TruncationIsCorruption) {
+  StripeFooter footer;
+  footer.streams = {{0, StreamKind::kData, 10}};
+  footer.encodings = {ColumnEncoding::kDirect};
+  footer.dictionary_sizes = {0};
+  footer.num_groups = 1;
+  footer.instance_counts = {{5}};
+  footer.nonnull_counts = {{5}};
+  std::string bytes;
+  footer.Serialize(&bytes);
+  StripeFooter restored;
+  EXPECT_FALSE(StripeFooter::Deserialize(
+                   std::string_view(bytes).substr(0, bytes.size() - 1),
+                   &restored)
+                   .ok());
+}
+
+TEST(StripeIndexTest, RoundTripDeltaOffsets) {
+  StripeIndex index;
+  index.segment_ends = {{100, 250, 251}, {4096}};
+  ColumnStatistics stats;
+  stats.UpdateInt(7);
+  index.group_stats = {{stats, stats, stats}, {stats}};
+  std::string bytes;
+  index.Serialize(&bytes);
+  StripeIndex restored;
+  ASSERT_TRUE(StripeIndex::Deserialize(bytes, &restored).ok());
+  EXPECT_EQ(restored.segment_ends, index.segment_ends);
+  ASSERT_EQ(restored.group_stats.size(), 2u);
+  EXPECT_EQ(restored.group_stats[0][1].int_min(), 7);
+}
+
+TEST(FileTailTest, FooterAndMetadataRoundTrip) {
+  FileTail tail;
+  tail.schema = *TypeDescription::Parse(
+      "struct<a:bigint,b:array<string>,c:double>");
+  tail.schema->AssignColumnIds(0);
+  tail.num_rows = 123456;
+  tail.stripes = {{8, 100, 2000, 50, 60000}, {2158, 90, 1800, 48, 63456}};
+  tail.file_stats.resize(tail.schema->ColumnCount());
+  tail.file_stats[1].UpdateInt(-9);
+  tail.file_stats[1].UpdateInt(99);
+  tail.stripe_stats = {tail.file_stats, tail.file_stats};
+
+  std::string footer_bytes;
+  SerializeFileFooter(tail, &footer_bytes);
+  FileTail restored;
+  ASSERT_TRUE(DeserializeFileFooter(footer_bytes, &restored).ok());
+  EXPECT_EQ(restored.num_rows, 123456u);
+  ASSERT_EQ(restored.stripes.size(), 2u);
+  EXPECT_EQ(restored.stripes[1].offset, 2158u);
+  EXPECT_EQ(restored.stripes[1].num_rows, 63456u);
+  EXPECT_TRUE(restored.schema->Equals(*tail.schema));
+  EXPECT_EQ(restored.schema->children()[1]->children()[0]->column_id(), 3);
+  EXPECT_EQ(restored.file_stats[1].int_max(), 99);
+
+  std::string metadata_bytes;
+  SerializeFileMetadata(tail, &metadata_bytes);
+  ASSERT_TRUE(DeserializeFileMetadata(metadata_bytes, &restored).ok());
+  ASSERT_EQ(restored.stripe_stats.size(), 2u);
+  EXPECT_EQ(restored.stripe_stats[0][1].int_min(), -9);
+}
+
+TEST(StreamsForColumnTest, MatchesPaperTable) {
+  auto has = [](const std::vector<StreamKind>& streams, StreamKind kind) {
+    for (StreamKind s : streams) {
+      if (s == kind) return true;
+    }
+    return false;
+  };
+  auto direct = StreamsForColumn(TypeKind::kString, false,
+                                 ColumnEncoding::kDirect);
+  EXPECT_TRUE(has(direct, StreamKind::kData));
+  EXPECT_TRUE(has(direct, StreamKind::kLength));
+  EXPECT_FALSE(has(direct, StreamKind::kDictionaryData));
+  EXPECT_FALSE(has(direct, StreamKind::kPresent));
+
+  auto dict = StreamsForColumn(TypeKind::kString, true,
+                               ColumnEncoding::kDictionary);
+  EXPECT_TRUE(has(dict, StreamKind::kPresent));
+  EXPECT_TRUE(has(dict, StreamKind::kData));
+  EXPECT_TRUE(has(dict, StreamKind::kDictionaryData));
+  EXPECT_TRUE(has(dict, StreamKind::kDictionaryLength));
+
+  auto strukt = StreamsForColumn(TypeKind::kStruct, false,
+                                 ColumnEncoding::kDirect);
+  EXPECT_TRUE(strukt.empty()) << "structs carry presence only";
+  auto array = StreamsForColumn(TypeKind::kArray, false,
+                                ColumnEncoding::kDirect);
+  ASSERT_EQ(array.size(), 1u);
+  EXPECT_EQ(array[0], StreamKind::kLength);
+
+  EXPECT_TRUE(IsStripeScoped(StreamKind::kDictionaryData));
+  EXPECT_FALSE(IsStripeScoped(StreamKind::kData));
+}
+
+}  // namespace
+}  // namespace minihive::orc

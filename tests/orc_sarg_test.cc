@@ -1,0 +1,165 @@
+#include "orc/sarg.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive::orc {
+namespace {
+
+ColumnStatistics IntStats(int64_t lo, int64_t hi, bool has_null = false) {
+  ColumnStatistics stats;
+  stats.UpdateInt(lo);
+  stats.UpdateInt(hi);
+  if (has_null) stats.MarkNull();
+  return stats;
+}
+
+ColumnStatistics StringStats(const std::string& lo, const std::string& hi) {
+  ColumnStatistics stats;
+  stats.UpdateString(lo);
+  stats.UpdateString(hi);
+  return stats;
+}
+
+TEST(SargLeafTest, IntComparisons) {
+  ColumnStatistics stats = IntStats(10, 20);
+  auto eval = [&](PredicateOp op, int64_t lit) {
+    return SearchArgument::EvaluateLeaf({0, op, Value::Int(lit), {}, {}},
+                                        stats);
+  };
+  EXPECT_EQ(eval(PredicateOp::kEquals, 15), TruthValue::kMaybe);
+  EXPECT_EQ(eval(PredicateOp::kEquals, 25), TruthValue::kNo);
+  EXPECT_EQ(eval(PredicateOp::kEquals, 5), TruthValue::kNo);
+  EXPECT_EQ(eval(PredicateOp::kLessThan, 10), TruthValue::kNo);
+  EXPECT_EQ(eval(PredicateOp::kLessThan, 11), TruthValue::kMaybe);
+  EXPECT_EQ(eval(PredicateOp::kLessThanEquals, 10), TruthValue::kMaybe);
+  EXPECT_EQ(eval(PredicateOp::kLessThanEquals, 9), TruthValue::kNo);
+  EXPECT_EQ(eval(PredicateOp::kGreaterThan, 20), TruthValue::kNo);
+  EXPECT_EQ(eval(PredicateOp::kGreaterThan, 19), TruthValue::kMaybe);
+  EXPECT_EQ(eval(PredicateOp::kGreaterThanEquals, 21), TruthValue::kNo);
+}
+
+TEST(SargLeafTest, Between) {
+  ColumnStatistics stats = IntStats(100, 200);
+  auto between = [&](int64_t lo, int64_t hi) {
+    return SearchArgument::EvaluateLeaf(
+        {0, PredicateOp::kBetween, Value::Int(lo), Value::Int(hi), {}}, stats);
+  };
+  EXPECT_EQ(between(150, 160), TruthValue::kMaybe);
+  EXPECT_EQ(between(0, 99), TruthValue::kNo);
+  EXPECT_EQ(between(201, 300), TruthValue::kNo);
+  EXPECT_EQ(between(0, 100), TruthValue::kMaybe);  // Touches the min.
+  EXPECT_EQ(between(200, 300), TruthValue::kMaybe);  // Touches the max.
+}
+
+TEST(SargLeafTest, InList) {
+  ColumnStatistics stats = IntStats(10, 20);
+  LeafPredicate leaf;
+  leaf.column = 0;
+  leaf.op = PredicateOp::kIn;
+  leaf.in_list = {Value::Int(1), Value::Int(5)};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(leaf, stats), TruthValue::kNo);
+  leaf.in_list.push_back(Value::Int(15));
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(leaf, stats), TruthValue::kMaybe);
+}
+
+TEST(SargLeafTest, NullHandling) {
+  ColumnStatistics all_null;
+  all_null.MarkNull();
+  // Comparisons never match an all-NULL unit.
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kEquals, Value::Int(1), {}, {}}, all_null),
+            TruthValue::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kIsNull, {}, {}, {}}, all_null),
+            TruthValue::kMaybe);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kIsNotNull, {}, {}, {}}, all_null),
+            TruthValue::kNo);
+
+  ColumnStatistics no_nulls = IntStats(1, 2);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kIsNull, {}, {}, {}}, no_nulls),
+            TruthValue::kNo);
+}
+
+TEST(SargLeafTest, StringRange) {
+  ColumnStatistics stats = StringStats("mango", "peach");
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kEquals, Value::String("orange"), {}, {}},
+                stats),
+            TruthValue::kMaybe);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kEquals, Value::String("apple"), {}, {}},
+                stats),
+            TruthValue::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kGreaterThan, Value::String("zebra"), {}, {}},
+                stats),
+            TruthValue::kNo);
+}
+
+TEST(SargLeafTest, TypeMismatchIsMaybe) {
+  // Statistics of the wrong family cannot prune (stay safe).
+  ColumnStatistics stats = StringStats("a", "z");
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kEquals, Value::Int(3), {}, {}}, stats),
+            TruthValue::kMaybe);
+}
+
+TEST(SearchArgumentTest, ConjunctionSkipsOnAnyNo) {
+  SearchArgument sarg;
+  sarg.AddLeaf({0, PredicateOp::kGreaterThan, Value::Int(100), {}, {}});
+  sarg.AddLeaf({1, PredicateOp::kEquals, Value::String("x"), {}, {}});
+  std::vector<ColumnStatistics> stats = {IntStats(0, 50),
+                                         StringStats("a", "z")};
+  EXPECT_TRUE(sarg.CanSkip(stats));  // Leaf 0 is definitely false.
+  stats[0] = IntStats(0, 500);
+  EXPECT_FALSE(sarg.CanSkip(stats));  // Both maybes.
+}
+
+TEST(SearchArgumentTest, OutOfRangeColumnIgnored) {
+  SearchArgument sarg;
+  sarg.AddLeaf({5, PredicateOp::kEquals, Value::Int(1), {}, {}});
+  std::vector<ColumnStatistics> stats = {IntStats(0, 1)};
+  EXPECT_FALSE(sarg.CanSkip(stats));
+}
+
+TEST(ColumnStatisticsTest, SerializationRoundTrip) {
+  ColumnStatistics stats;
+  stats.UpdateInt(-5);
+  stats.UpdateInt(100);
+  stats.UpdateString("alpha");
+  stats.UpdateString("omega");
+  stats.UpdateDouble(2.5);
+  stats.MarkNull();
+  std::string bytes;
+  stats.Serialize(&bytes);
+  ByteReader reader(bytes);
+  ColumnStatistics restored;
+  ASSERT_TRUE(ColumnStatistics::Deserialize(&reader, &restored).ok());
+  EXPECT_EQ(restored.num_values(), stats.num_values());
+  EXPECT_TRUE(restored.has_null());
+  EXPECT_EQ(restored.int_min(), -5);
+  EXPECT_EQ(restored.int_max(), 100);
+  EXPECT_EQ(restored.string_min(), "alpha");
+  EXPECT_EQ(restored.string_max(), "omega");
+  EXPECT_DOUBLE_EQ(restored.double_min(), 2.5);
+}
+
+TEST(ColumnStatisticsTest, MergeCombinesRangesAndSums) {
+  ColumnStatistics a, b;
+  a.UpdateInt(1);
+  a.UpdateInt(10);
+  b.UpdateInt(-3);
+  b.UpdateInt(7);
+  b.MarkNull();
+  a.Merge(b);
+  EXPECT_EQ(a.int_min(), -3);
+  EXPECT_EQ(a.int_max(), 10);
+  EXPECT_EQ(a.int_sum(), 1 + 10 - 3 + 7);
+  EXPECT_EQ(a.num_values(), 4u);
+  EXPECT_TRUE(a.has_null());
+}
+
+}  // namespace
+}  // namespace minihive::orc

@@ -1,0 +1,254 @@
+#include "orc/stream_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace minihive::orc {
+namespace {
+
+// ---------------------------------------------------------------- RLE byte
+
+std::vector<uint8_t> RoundTripBytes(const std::vector<uint8_t>& values) {
+  RunLengthByteEncoder encoder;
+  for (uint8_t v : values) encoder.Add(v);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  RunLengthByteDecoder decoder(encoded);
+  std::vector<uint8_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(decoder.Next(&out[i]).ok());
+  }
+  EXPECT_TRUE(decoder.AtEnd());
+  return out;
+}
+
+TEST(RunLengthByteTest, Empty) {
+  RunLengthByteEncoder encoder;
+  std::string encoded;
+  encoder.Finish(&encoded);
+  EXPECT_TRUE(encoded.empty());
+}
+
+TEST(RunLengthByteTest, SingleValue) {
+  std::vector<uint8_t> v = {42};
+  EXPECT_EQ(RoundTripBytes(v), v);
+}
+
+TEST(RunLengthByteTest, LongRunCompresses) {
+  std::vector<uint8_t> v(10000, 7);
+  RunLengthByteEncoder encoder;
+  for (uint8_t b : v) encoder.Add(b);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  EXPECT_LT(encoded.size(), 200u);
+  EXPECT_EQ(RoundTripBytes(v), v);
+}
+
+TEST(RunLengthByteTest, LiteralsBeforeRunKeepOrder) {
+  // Regression: literals pending when a run flushes must be emitted first.
+  std::vector<uint8_t> v = {1, 2, 3, 9, 9, 9, 9, 9, 4, 5};
+  EXPECT_EQ(RoundTripBytes(v), v);
+}
+
+TEST(RunLengthByteTest, AlternatingValues) {
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 2);
+  EXPECT_EQ(RoundTripBytes(v), v);
+}
+
+TEST(RunLengthByteTest, RandomMix) {
+  Random rng(123);
+  std::vector<uint8_t> v;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      uint8_t b = static_cast<uint8_t>(rng.Next());
+      size_t run = rng.Uniform(300) + 1;
+      for (size_t j = 0; j < run; ++j) v.push_back(b);
+    } else {
+      v.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+  }
+  EXPECT_EQ(RoundTripBytes(v), v);
+}
+
+// ---------------------------------------------------------------- Int RLE
+
+std::vector<int64_t> RoundTripInts(const std::vector<int64_t>& values,
+                                   size_t* encoded_size = nullptr) {
+  IntRleEncoder encoder;
+  for (int64_t v : values) encoder.Add(v);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  if (encoded_size != nullptr) *encoded_size = encoded.size();
+  IntRleDecoder decoder(encoded);
+  std::vector<int64_t> out(values.size());
+  EXPECT_TRUE(decoder.NextBatch(out.data(), out.size()).ok());
+  EXPECT_TRUE(decoder.AtEnd());
+  return out;
+}
+
+TEST(IntRleTest, Empty) {
+  std::vector<int64_t> v;
+  EXPECT_EQ(RoundTripInts(v), v);
+}
+
+TEST(IntRleTest, ConstantRun) {
+  std::vector<int64_t> v(100000, -12345);
+  size_t size;
+  EXPECT_EQ(RoundTripInts(v, &size), v);
+  EXPECT_LT(size, 5000u);
+}
+
+TEST(IntRleTest, DeltaRunAscending) {
+  // Monotone sequences use the delta encoding (paper: run length + delta).
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < 100000; ++i) v.push_back(i * 3);
+  size_t size;
+  EXPECT_EQ(RoundTripInts(v, &size), v);
+  EXPECT_LT(size, 5000u);
+}
+
+TEST(IntRleTest, DeltaRunDescending) {
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < 1000; ++i) v.push_back(1000000 - i * 7);
+  size_t size;
+  EXPECT_EQ(RoundTripInts(v, &size), v);
+  EXPECT_LT(size, 100u);
+}
+
+TEST(IntRleTest, ExtremeValues) {
+  std::vector<int64_t> v = {INT64_MIN, INT64_MAX, 0, -1, 1,
+                            INT64_MIN, INT64_MAX};
+  EXPECT_EQ(RoundTripInts(v), v);
+}
+
+TEST(IntRleTest, LiteralsThenRunThenLiterals) {
+  std::vector<int64_t> v = {9, 1, 7, 5, 5, 5, 5, 5, 2, 8, 11, 12, 13, 14, 3};
+  EXPECT_EQ(RoundTripInts(v), v);
+}
+
+TEST(IntRleTest, DeltaTooLargeForRunStaysLiteral) {
+  std::vector<int64_t> v = {0, 1000, 2000, 3000, 4000};  // delta 1000 > 127
+  EXPECT_EQ(RoundTripInts(v), v);
+}
+
+TEST(IntRleTest, RandomMix) {
+  Random rng(77);
+  std::vector<int64_t> v;
+  for (int round = 0; round < 2000; ++round) {
+    switch (rng.Uniform(3)) {
+      case 0: {  // run
+        int64_t base = static_cast<int64_t>(rng.Next());
+        size_t n = rng.Uniform(200) + 1;
+        for (size_t i = 0; i < n; ++i) v.push_back(base);
+        break;
+      }
+      case 1: {  // arithmetic sequence
+        int64_t base = rng.Range(-1000000, 1000000);
+        int64_t delta = rng.Range(-128, 127);
+        size_t n = rng.Uniform(200) + 1;
+        for (size_t i = 0; i < n; ++i) v.push_back(base + delta * i);
+        break;
+      }
+      default:  // literals
+        v.push_back(static_cast<int64_t>(rng.Next()));
+    }
+  }
+  EXPECT_EQ(RoundTripInts(v), v);
+}
+
+// ---------------------------------------------------------------- Bit field
+
+std::vector<bool> RoundTripBits(const std::vector<bool>& values) {
+  BitFieldEncoder encoder;
+  for (bool v : values) encoder.Add(v);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  BitFieldDecoder decoder(encoded);
+  std::vector<bool> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    bool b = false;
+    EXPECT_TRUE(decoder.Next(&b).ok());
+    out[i] = b;
+  }
+  return out;
+}
+
+TEST(BitFieldTest, VariousLengths) {
+  Random rng(9);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u}) {
+    std::vector<bool> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = rng.Bernoulli(0.5);
+    EXPECT_EQ(RoundTripBits(v), v) << "n=" << n;
+  }
+}
+
+TEST(BitFieldTest, AllTrueCompressesViaByteRle) {
+  std::vector<bool> v(80000, true);
+  BitFieldEncoder encoder;
+  for (bool b : v) encoder.Add(b);
+  std::string encoded;
+  encoder.Finish(&encoded);
+  EXPECT_LT(encoded.size(), 200u);
+  EXPECT_EQ(RoundTripBits(v), v);
+}
+
+TEST(BitFieldTest, ConcatenatedGroupsDecodeWithAlign) {
+  // Two groups encoded independently and concatenated: a sequential decoder
+  // must AlignToByte between them (full-scan mode in the ORC reader).
+  std::vector<bool> g1 = {true, false, true};  // 3 bits -> padded byte
+  std::vector<bool> g2 = {false, false, true, true, false};
+  std::string encoded;
+  {
+    BitFieldEncoder enc;
+    for (bool b : g1) enc.Add(b);
+    enc.Finish(&encoded);
+  }
+  {
+    BitFieldEncoder enc;
+    for (bool b : g2) enc.Add(b);
+    enc.Finish(&encoded);
+  }
+  BitFieldDecoder dec(encoded);
+  for (bool expected : g1) {
+    bool b;
+    ASSERT_TRUE(dec.Next(&b).ok());
+    EXPECT_EQ(b, expected);
+  }
+  dec.AlignToByte();
+  for (bool expected : g2) {
+    bool b;
+    ASSERT_TRUE(dec.Next(&b).ok());
+    EXPECT_EQ(b, expected);
+  }
+}
+
+TEST(IntRleTest, ConcatenatedGroupsDecodeSequentially) {
+  // Int RLE groups end on token boundaries, so concatenated groups decode
+  // with a single decoder and no realignment.
+  std::vector<int64_t> g1 = {1, 2, 3, 4, 5};
+  std::vector<int64_t> g2 = {100, 100, 100, 7};
+  std::string encoded;
+  {
+    IntRleEncoder enc;
+    for (int64_t v : g1) enc.Add(v);
+    enc.Finish(&encoded);
+  }
+  {
+    IntRleEncoder enc;
+    for (int64_t v : g2) enc.Add(v);
+    enc.Finish(&encoded);
+  }
+  IntRleDecoder dec(encoded);
+  std::vector<int64_t> out(g1.size() + g2.size());
+  ASSERT_TRUE(dec.NextBatch(out.data(), out.size()).ok());
+  std::vector<int64_t> expected = g1;
+  expected.insert(expected.end(), g2.begin(), g2.end());
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace minihive::orc

@@ -1,0 +1,211 @@
+// Cross-cutting consistency property: for a battery of queries, every
+// storage format, execution engine (row vs vectorized), and optimizer
+// combination must return exactly the same multiset of rows. This is the
+// repository's strongest end-to-end invariant: the paper's advancements are
+// performance features and must never change results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+struct EngineConfig {
+  std::string name;
+  DriverOptions options;
+};
+
+std::vector<EngineConfig> EngineConfigs() {
+  std::vector<EngineConfig> configs;
+  {
+    DriverOptions o;
+    o.predicate_pushdown = false;
+    o.mapjoin_conversion = false;
+    o.merge_maponly_jobs = false;
+    o.correlation_optimizer = false;
+    o.vectorized_execution = false;
+    configs.push_back({"all-off", o});
+  }
+  {
+    DriverOptions o;
+    o.predicate_pushdown = true;
+    o.mapjoin_conversion = false;
+    configs.push_back({"ppd-only", o});
+  }
+  {
+    DriverOptions o;
+    o.mapjoin_conversion = true;
+    o.merge_maponly_jobs = true;
+    configs.push_back({"mapjoin+merge", o});
+  }
+  {
+    DriverOptions o;
+    o.mapjoin_conversion = true;
+    o.merge_maponly_jobs = true;
+    o.correlation_optimizer = true;
+    configs.push_back({"correlation", o});
+  }
+  {
+    DriverOptions o;
+    o.mapjoin_conversion = true;
+    o.merge_maponly_jobs = true;
+    o.correlation_optimizer = true;
+    o.vectorized_execution = true;
+    o.default_reducers = 2;
+    o.num_workers = 3;
+    configs.push_back({"everything+vectorized", o});
+  }
+  return configs;
+}
+
+class ConsistencyTest
+    : public ::testing::TestWithParam<formats::FormatKind> {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<dfs::FileSystem>();
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+    formats::FormatKind format = GetParam();
+    codec::CompressionKind codec = format == formats::FormatKind::kTextFile
+                                       ? codec::CompressionKind::kNone
+                                       : codec::CompressionKind::kFastLz;
+    Random rng(31337);
+    auto sales_schema = *TypeDescription::Parse(
+        "struct<sale_id:bigint,cust:bigint,item:bigint,qty:bigint,"
+        "price:double,note:string>");
+    std::vector<Row> sales;
+    for (int i = 0; i < 4000; ++i) {
+      sales.push_back(
+          {Value::Int(i), Value::Int(rng.Range(0, 49)),
+           Value::Int(rng.Range(0, 19)), Value::Int(rng.Range(1, 10)),
+           rng.Bernoulli(0.05) ? Value::Null()
+                               : Value::Double(rng.Range(100, 9999) / 100.0),
+           Value::String("note-" + std::to_string(rng.Uniform(8)))});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(catalog_.get(), "sales", sales_schema,
+                                       format, codec, sales, 3)
+                    .ok());
+    auto items_schema = *TypeDescription::Parse(
+        "struct<item_id:bigint,category:string,cost:double>");
+    std::vector<Row> items;
+    for (int i = 0; i < 20; ++i) {
+      items.push_back({Value::Int(i),
+                       Value::String(i % 2 == 0 ? "widget" : "gadget"),
+                       Value::Double(i * 1.25)});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(catalog_.get(), "items", items_schema,
+                                       format, codec, items)
+                    .ok());
+  }
+
+  static std::vector<std::string> Canonical(const QueryResult& result) {
+    std::vector<std::string> rows;
+    for (const Row& row : result.rows) {
+      std::string s;
+      for (const Value& v : row) {
+        if (v.is_double()) {
+          char buf[64];
+          snprintf(buf, sizeof(buf), "%.6f", v.AsDouble());
+          s += buf;
+        } else {
+          s += v.ToString();
+        }
+        s += "|";
+      }
+      rows.push_back(s);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  void ExpectConsistent(const std::string& sql) {
+    std::vector<std::string> reference;
+    std::string reference_config;
+    for (const EngineConfig& config : EngineConfigs()) {
+      Driver driver(fs_.get(), catalog_.get(), config.options);
+      auto result = driver.Execute(sql);
+      ASSERT_TRUE(result.ok())
+          << config.name << ": " << result.status().ToString() << "\n" << sql;
+      std::vector<std::string> rows = Canonical(*result);
+      if (reference_config.empty()) {
+        reference = rows;
+        reference_config = config.name;
+        EXPECT_FALSE(rows.empty()) << sql;
+      } else {
+        EXPECT_EQ(rows, reference)
+            << sql << "\n  differs between " << reference_config << " and "
+            << config.name;
+      }
+    }
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_P(ConsistencyTest, FilterProjection) {
+  ExpectConsistent(
+      "SELECT sale_id, qty * price AS amount FROM sales "
+      "WHERE qty >= 5 AND price BETWEEN 20.0 AND 60.0");
+}
+
+TEST_P(ConsistencyTest, NullSensitiveFilter) {
+  ExpectConsistent(
+      "SELECT sale_id FROM sales WHERE price IS NULL OR price > 95.0");
+}
+
+TEST_P(ConsistencyTest, GlobalAggregates) {
+  ExpectConsistent(
+      "SELECT COUNT(*), COUNT(price), SUM(price), AVG(price), MIN(qty), "
+      "MAX(qty) FROM sales");
+}
+
+TEST_P(ConsistencyTest, GroupedAggregates) {
+  ExpectConsistent(
+      "SELECT cust, COUNT(*) AS n, SUM(qty) AS total_qty, AVG(price) AS ap "
+      "FROM sales GROUP BY cust");
+}
+
+TEST_P(ConsistencyTest, StringGroupKeys) {
+  ExpectConsistent(
+      "SELECT note, COUNT(*) AS n FROM sales WHERE qty < 8 GROUP BY note");
+}
+
+TEST_P(ConsistencyTest, JoinAggregateOrder) {
+  ExpectConsistent(
+      "SELECT category, SUM(qty * price) AS revenue, COUNT(*) AS n "
+      "FROM sales JOIN items ON sales.item = items.item_id "
+      "WHERE price IS NOT NULL "
+      "GROUP BY category ORDER BY category");
+}
+
+TEST_P(ConsistencyTest, SubqueryCorrelationShape) {
+  ExpectConsistent(
+      "SELECT s.cust, COUNT(*) AS above_avg FROM sales s "
+      "JOIN (SELECT s2.cust AS c, AVG(s2.price) AS ap FROM sales s2 "
+      "      GROUP BY s2.cust) agg ON s.cust = agg.c "
+      "WHERE s.price > agg.ap GROUP BY s.cust");
+}
+
+TEST_P(ConsistencyTest, OrderByDescWithLimit) {
+  ExpectConsistent(
+      "SELECT sale_id, price FROM sales WHERE price IS NOT NULL "
+      "ORDER BY price DESC, sale_id ASC LIMIT 25");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, ConsistencyTest,
+    ::testing::Values(formats::FormatKind::kTextFile,
+                      formats::FormatKind::kSequenceFile,
+                      formats::FormatKind::kRcFile,
+                      formats::FormatKind::kOrcFile),
+    [](const auto& info) {
+      return std::string(formats::FormatKindName(info.param));
+    });
+
+}  // namespace
+}  // namespace minihive::ql

@@ -1,0 +1,165 @@
+// SQL semantic edge cases: NULL join keys, empty inputs, empty results,
+// LIMIT corner cases, catalog behaviour.
+
+#include <gtest/gtest.h>
+
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<dfs::FileSystem>();
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+
+    // left(k, v): includes NULL keys.
+    std::vector<Row> left = {
+        {Value::Int(1), Value::String("a")},
+        {Value::Int(2), Value::String("b")},
+        {Value::Null(), Value::String("null-key-1")},
+        {Value::Null(), Value::String("null-key-2")},
+        {Value::Int(5), Value::String("e")},
+    };
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "lhs",
+                    *TypeDescription::Parse("struct<k:bigint,v:string>"),
+                    formats::FormatKind::kTextFile,
+                    codec::CompressionKind::kNone, left)
+                    .ok());
+    std::vector<Row> right = {
+        {Value::Int(1), Value::String("x")},
+        {Value::Null(), Value::String("null-right")},
+        {Value::Int(5), Value::String("z")},
+    };
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "rhs",
+                    *TypeDescription::Parse("struct<k:bigint,w:string>"),
+                    formats::FormatKind::kTextFile,
+                    codec::CompressionKind::kNone, right)
+                    .ok());
+    // An empty table.
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "empty",
+                    *TypeDescription::Parse("struct<k:bigint,v:double>"),
+                    formats::FormatKind::kSequenceFile,
+                    codec::CompressionKind::kNone, {})
+                    .ok());
+  }
+
+  QueryResult MustExecute(const std::string& sql,
+                          DriverOptions options = DriverOptions()) {
+    Driver driver(fs_.get(), catalog_.get(), options);
+    auto result = driver.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    return result.ok() ? std::move(result).ValueOrDie() : QueryResult();
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(EdgeCaseTest, InnerJoinDropsNullKeysBothModes) {
+  for (bool mapjoin : {false, true}) {
+    DriverOptions options;
+    options.mapjoin_conversion = mapjoin;
+    QueryResult result = MustExecute(
+        "SELECT lhs.v, rhs.w FROM lhs JOIN rhs ON lhs.k = rhs.k", options);
+    // NULL keys never match, even against NULL (SQL semantics): rows 1, 5.
+    EXPECT_EQ(result.rows.size(), 2u) << (mapjoin ? "mapjoin" : "reduce join");
+  }
+}
+
+TEST_F(EdgeCaseTest, LeftOuterKeepsNullKeyRows) {
+  DriverOptions options;
+  options.mapjoin_conversion = false;
+  QueryResult result = MustExecute(
+      "SELECT lhs.v, rhs.w FROM lhs LEFT JOIN rhs ON lhs.k = rhs.k", options);
+  ASSERT_EQ(result.rows.size(), 5u);
+  int padded = 0;
+  for (const Row& row : result.rows) {
+    if (row[1].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 3);  // k=2 (no match) and the two NULL-key rows.
+}
+
+TEST_F(EdgeCaseTest, EmptyTableScanAndAggregates) {
+  QueryResult scan = MustExecute("SELECT k FROM empty WHERE k > 0");
+  EXPECT_TRUE(scan.rows.empty());
+  QueryResult agg = MustExecute("SELECT COUNT(*), SUM(v) FROM empty");
+  ASSERT_EQ(agg.rows.size(), 1u);  // Global aggregates yield one row.
+  EXPECT_EQ(agg.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(agg.rows[0][1].is_null());  // SUM of nothing is NULL.
+}
+
+TEST_F(EdgeCaseTest, GroupByOnEmptyInputYieldsNoRows) {
+  QueryResult result = MustExecute("SELECT k, COUNT(*) FROM empty GROUP BY k");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(EdgeCaseTest, WhereEliminatesEverything) {
+  QueryResult result = MustExecute("SELECT v FROM lhs WHERE k = 12345");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(EdgeCaseTest, LimitZeroAndOversizedLimit) {
+  EXPECT_TRUE(MustExecute("SELECT v FROM lhs LIMIT 0").rows.empty());
+  EXPECT_EQ(MustExecute("SELECT v FROM lhs LIMIT 9999").rows.size(), 5u);
+}
+
+TEST_F(EdgeCaseTest, JoinAgainstEmptyTable) {
+  DriverOptions options;
+  options.mapjoin_conversion = false;
+  QueryResult inner = MustExecute(
+      "SELECT lhs.v FROM lhs JOIN empty ON lhs.k = empty.k", options);
+  EXPECT_TRUE(inner.rows.empty());
+  QueryResult outer = MustExecute(
+      "SELECT lhs.v, empty.v FROM lhs LEFT JOIN empty ON lhs.k = empty.k",
+      options);
+  EXPECT_EQ(outer.rows.size(), 5u);
+}
+
+TEST_F(EdgeCaseTest, MapJoinAgainstEmptySmallTable) {
+  DriverOptions options;
+  options.mapjoin_conversion = true;
+  QueryResult result = MustExecute(
+      "SELECT lhs.v FROM lhs JOIN empty ON lhs.k = empty.k", options);
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(EdgeCaseTest, OrderByOnStringsWithDuplicates) {
+  QueryResult result =
+      MustExecute("SELECT v FROM lhs ORDER BY v DESC");
+  ASSERT_EQ(result.rows.size(), 5u);
+  for (size_t i = 1; i < result.rows.size(); ++i) {
+    EXPECT_GE(result.rows[i - 1][0].AsString(), result.rows[i][0].AsString());
+  }
+}
+
+TEST_F(EdgeCaseTest, CatalogLifecycle) {
+  EXPECT_TRUE(catalog_->HasTable("lhs"));
+  EXPECT_FALSE(catalog_->HasTable("nope"));
+  EXPECT_TRUE(catalog_->GetTable("nope").status().IsNotFound());
+  // Duplicate create fails.
+  EXPECT_TRUE(catalog_
+                  ->CreateTable("lhs", TypeDescription::CreateStruct(),
+                                formats::FormatKind::kTextFile)
+                  .IsAlreadyExists());
+  // Drop removes files and the entry.
+  ASSERT_FALSE(catalog_->TableFiles(**catalog_->GetTable("rhs")).empty());
+  ASSERT_TRUE(catalog_->DropTable("rhs").ok());
+  EXPECT_FALSE(catalog_->HasTable("rhs"));
+  EXPECT_TRUE(fs_->List("/warehouse/rhs/").empty());
+  EXPECT_TRUE(catalog_->DropTable("rhs").IsNotFound());
+}
+
+TEST_F(EdgeCaseTest, QueryAfterDropFails) {
+  ASSERT_TRUE(catalog_->DropTable("rhs").ok());
+  Driver driver(fs_.get(), catalog_.get(), DriverOptions());
+  EXPECT_FALSE(driver.Execute("SELECT w FROM rhs").ok());
+}
+
+}  // namespace
+}  // namespace minihive::ql

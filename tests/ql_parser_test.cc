@@ -1,0 +1,137 @@
+#include "ql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace minihive::ql {
+namespace {
+
+AstQueryPtr MustParse(const std::string& sql) {
+  auto result = ParseQuery(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  return result.ok() ? *result : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  AstQueryPtr q = MustParse("SELECT a FROM t");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->select[0].expr->name, "a");
+  EXPECT_EQ(q->from.table, "t");
+  EXPECT_EQ(q->from.alias, "t");
+}
+
+TEST(ParserTest, SelectStarWithSemicolon) {
+  AstQueryPtr q = MustParse("select * from t;");
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->select_star);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywordsAndAliases) {
+  AstQueryPtr q = MustParse(
+      "Select a As x, SUM(b) total From t Where a > 1 Group By a");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->select[0].alias, "x");
+  EXPECT_EQ(q->select[1].alias, "total");
+  ASSERT_NE(q->where, nullptr);
+  ASSERT_EQ(q->group_by.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  AstQueryPtr q = MustParse("SELECT a + b * c FROM t");
+  const AstExpr& e = *q->select[0].expr;
+  ASSERT_EQ(e.kind, AstExprKind::kBinary);
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.children[1]->op, "*");
+}
+
+TEST(ParserTest, AndOrPrecedenceAndNot) {
+  AstQueryPtr q =
+      MustParse("SELECT a FROM t WHERE a = 1 OR b = 2 AND NOT c = 3");
+  const AstExpr& e = *q->where;
+  EXPECT_EQ(e.op, "OR");
+  EXPECT_EQ(e.children[1]->op, "AND");
+  EXPECT_EQ(e.children[1]->children[1]->kind, AstExprKind::kNot);
+}
+
+TEST(ParserTest, BetweenInIsNull) {
+  AstQueryPtr q = MustParse(
+      "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) "
+      "AND c IS NOT NULL AND d NOT IN ('x')");
+  std::string text = q->where->ToString();
+  EXPECT_NE(text.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(text.find("IN ("), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN"), std::string::npos);
+}
+
+TEST(ParserTest, JoinsWithQualifiersAndSubquery) {
+  AstQueryPtr q = MustParse(
+      "SELECT t.a, s.b FROM t JOIN (SELECT x AS b, y FROM u) s "
+      "ON t.a = s.b LEFT OUTER JOIN v ON v.k = t.a");
+  ASSERT_EQ(q->joins.size(), 2u);
+  EXPECT_NE(q->joins[0].right.subquery, nullptr);
+  EXPECT_EQ(q->joins[0].right.alias, "s");
+  EXPECT_FALSE(q->joins[0].left_outer);
+  EXPECT_TRUE(q->joins[1].left_outer);
+  EXPECT_EQ(q->select[0].expr->qualifier, "t");
+}
+
+TEST(ParserTest, OrderByDirectionsAndLimit) {
+  AstQueryPtr q = MustParse(
+      "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 42");
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_TRUE(q->order_by[1].ascending);
+  EXPECT_EQ(q->limit, 42);
+}
+
+TEST(ParserTest, LiteralsAndNegativeNumbers) {
+  AstQueryPtr q = MustParse(
+      "SELECT -5, 3.25, 'quoted ''?'' text', TRUE, NULL, 1e3 FROM t");
+  EXPECT_EQ(q->select[0].expr->literal.AsInt(), -5);
+  EXPECT_DOUBLE_EQ(q->select[1].expr->literal.AsDouble(), 3.25);
+  EXPECT_TRUE(q->select[3].expr->literal.AsBool());
+  EXPECT_TRUE(q->select[4].expr->literal.is_null());
+  EXPECT_DOUBLE_EQ(q->select[5].expr->literal.AsDouble(), 1000.0);
+}
+
+TEST(ParserTest, AggregateFunctions) {
+  AstQueryPtr q = MustParse(
+      "SELECT COUNT(*), SUM(a), AVG(a + b), MIN(a), MAX(a) FROM t");
+  EXPECT_TRUE(q->select[0].expr->star);
+  EXPECT_EQ(q->select[0].expr->function, "COUNT");
+  EXPECT_EQ(q->select[2].expr->function, "AVG");
+  EXPECT_EQ(q->select[2].expr->children[0]->op, "+");
+}
+
+TEST(ParserTest, KeywordsUsableAsColumnNames) {
+  // min/max/avg etc. are only functions when followed by '('.
+  AstQueryPtr q = MustParse("SELECT t.min, avg FROM t WHERE count > 3");
+  EXPECT_EQ(q->select[0].expr->name, "MIN");
+  EXPECT_EQ(q->select[1].expr->name, "AVG");
+}
+
+TEST(ParserTest, LineCommentsSkipped) {
+  AstQueryPtr q = MustParse(
+      "SELECT a -- trailing comment\nFROM t -- another\nWHERE a = 1");
+  ASSERT_NE(q, nullptr);
+  ASSERT_NE(q->where, nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM (SELECT b FROM u)").ok());  // No alias.
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t JOIN u").ok());  // No ON.
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t extra garbage here ,").ok());
+  EXPECT_FALSE(ParseQuery("SELECT 'unterminated FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t WHERE a @ 3").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM t LIMIT x").ok());
+}
+
+}  // namespace
+}  // namespace minihive::ql

@@ -1,0 +1,176 @@
+// Plan-shape tests: what the analyzer + optimizers + task compiler produce,
+// verified through Explain (no execution).
+
+#include <gtest/gtest.h>
+
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+class PlanShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<dfs::FileSystem>();
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+    auto fact_schema = *TypeDescription::Parse(
+        "struct<k:bigint,v:double,s:string>");
+    std::vector<Row> fact;
+    for (int i = 0; i < 3000; ++i) {
+      fact.push_back({Value::Int(i % 100), Value::Double(i * 0.5),
+                      Value::String("s" + std::to_string(i % 7))});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(catalog_.get(), "fact", fact_schema,
+                                       formats::FormatKind::kTextFile,
+                                       codec::CompressionKind::kNone, fact)
+                    .ok());
+    std::vector<Row> dim;
+    for (int i = 0; i < 100; ++i) {
+      dim.push_back({Value::Int(i), Value::String("d" + std::to_string(i))});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "dim",
+                    *TypeDescription::Parse("struct<k:bigint,name:string>"),
+                    formats::FormatKind::kTextFile,
+                    codec::CompressionKind::kNone, dim)
+                    .ok());
+  }
+
+  QueryResult Plan(const std::string& sql, DriverOptions options) {
+    Driver driver(fs_.get(), catalog_.get(), options);
+    auto result = driver.Explain(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result).ValueOrDie() : QueryResult();
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(PlanShapeTest, ScanFilterIsSingleMapOnlyJob) {
+  QueryResult plan =
+      Plan("SELECT k FROM fact WHERE k < 5", DriverOptions());
+  EXPECT_EQ(plan.num_jobs, 1);
+  EXPECT_EQ(plan.num_map_only_jobs, 1);
+  EXPECT_NE(plan.plan_text.find("TS_"), std::string::npos);
+  EXPECT_NE(plan.plan_text.find("FIL_"), std::string::npos);
+  EXPECT_EQ(plan.plan_text.find("JOIN"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, GroupByIsOneMapReduceJob) {
+  QueryResult plan =
+      Plan("SELECT k, SUM(v) FROM fact GROUP BY k", DriverOptions());
+  EXPECT_EQ(plan.num_jobs, 1);
+  EXPECT_EQ(plan.num_map_only_jobs, 0);
+  // Map-side partial then reduce-side merge.
+  EXPECT_NE(plan.plan_text.find("mode=hash"), std::string::npos);
+  EXPECT_NE(plan.plan_text.find("mode=mergepartial"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, GroupByThenOrderByIsTwoJobs) {
+  QueryResult plan = Plan(
+      "SELECT k, SUM(v) AS total FROM fact GROUP BY k ORDER BY total DESC",
+      DriverOptions());
+  EXPECT_EQ(plan.num_jobs, 2);  // Aggregate job + single-reducer sort job.
+}
+
+TEST_F(PlanShapeTest, ReduceJoinKeepsBothScansInOneJob) {
+  DriverOptions options;
+  options.mapjoin_conversion = false;
+  QueryResult plan = Plan(
+      "SELECT fact.k FROM fact JOIN dim ON fact.k = dim.k", options);
+  EXPECT_EQ(plan.num_jobs, 1);
+  EXPECT_NE(plan.plan_text.find("JOIN_"), std::string::npos);
+  // Two tagged ReduceSinks feed the join.
+  EXPECT_NE(plan.plan_text.find("tag=0"), std::string::npos);
+  EXPECT_NE(plan.plan_text.find("tag=1"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, MapJoinConversionRemovesReduceJoin) {
+  DriverOptions options;
+  options.mapjoin_conversion = true;
+  options.merge_maponly_jobs = true;
+  QueryResult plan = Plan(
+      "SELECT fact.k FROM fact JOIN dim ON fact.k = dim.k", options);
+  EXPECT_EQ(plan.num_jobs, 1);
+  EXPECT_EQ(plan.num_map_only_jobs, 1);
+  EXPECT_NE(plan.plan_text.find("MAPJOIN_"), std::string::npos);
+  // No *reduce* join remains (the op name is preceded by indentation; a
+  // bare "JOIN_" also matches inside "MAPJOIN_").
+  EXPECT_EQ(plan.plan_text.find(" JOIN_"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, UnmergedConversionLeavesMapOnlyJob) {
+  DriverOptions options;
+  options.mapjoin_conversion = true;
+  options.merge_maponly_jobs = false;
+  QueryResult plan = Plan(
+      "SELECT fact.k, SUM(fact.v) FROM fact JOIN dim ON fact.k = dim.k "
+      "GROUP BY fact.k",
+      options);
+  // Map-only job with the map join + the aggregation MapReduce job.
+  EXPECT_EQ(plan.num_jobs, 2);
+  EXPECT_EQ(plan.num_map_only_jobs, 1);
+}
+
+TEST_F(PlanShapeTest, CorrelationMergesJoinAndAggregation) {
+  DriverOptions off;
+  off.mapjoin_conversion = false;
+  off.correlation_optimizer = false;
+  QueryResult baseline = Plan(
+      "SELECT fact.k, COUNT(*) FROM fact JOIN dim ON fact.k = dim.k "
+      "GROUP BY fact.k",
+      off);
+  DriverOptions on = off;
+  on.correlation_optimizer = true;
+  QueryResult optimized = Plan(
+      "SELECT fact.k, COUNT(*) FROM fact JOIN dim ON fact.k = dim.k "
+      "GROUP BY fact.k",
+      on);
+  EXPECT_EQ(baseline.num_jobs, 2);
+  EXPECT_EQ(optimized.num_jobs, 1);
+  EXPECT_NE(optimized.plan_text.find("DEMUX_"), std::string::npos);
+  EXPECT_NE(optimized.plan_text.find("MUX_"), std::string::npos);
+  EXPECT_EQ(baseline.plan_text.find("DEMUX_"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, ConsecutiveShufflesMaterializeIntermediates) {
+  DriverOptions options;
+  options.mapjoin_conversion = false;
+  QueryResult plan = Plan(
+      "SELECT s, COUNT(*) FROM (SELECT fact.s AS s FROM fact JOIN dim "
+      "ON fact.k = dim.k) j GROUP BY s",
+      options);
+  // Join job writes an intermediate the aggregation job re-loads — the §2
+  // translation behaviour the paper criticizes.
+  EXPECT_EQ(plan.num_jobs, 2);
+  EXPECT_NE(plan.plan_text.find("inter-"), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, AnalyzerErrors) {
+  Driver driver(fs_.get(), catalog_.get(), DriverOptions());
+  // Ambiguous unqualified column (k exists in both tables).
+  EXPECT_FALSE(driver.Explain("SELECT k FROM fact JOIN dim ON fact.k = dim.k")
+                   .ok());
+  // Non-grouped column in an aggregate query.
+  EXPECT_FALSE(driver.Explain("SELECT v, COUNT(*) FROM fact GROUP BY k").ok());
+  // Join without an equi-condition.
+  EXPECT_FALSE(driver.Explain(
+                         "SELECT fact.k FROM fact JOIN dim ON fact.k > dim.k")
+                   .ok());
+  // ORDER BY expression not in the select list.
+  EXPECT_FALSE(driver.Explain("SELECT k FROM fact ORDER BY v").ok());
+}
+
+TEST_F(PlanShapeTest, PushdownPrunesScanColumns) {
+  DriverOptions options;
+  QueryResult plan = Plan("SELECT k FROM fact WHERE v > 10", options);
+  // Projection should mention only the two used columns; the plan debug
+  // text shows the table scan. (Indirect check: the query still plans to
+  // one map-only job; pruning specifics are covered by the ORC I/O tests.)
+  EXPECT_EQ(plan.num_jobs, 1);
+}
+
+}  // namespace
+}  // namespace minihive::ql

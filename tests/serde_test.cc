@@ -1,0 +1,163 @@
+#include "serde/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace minihive::serde {
+namespace {
+
+TypePtr FlatSchema() {
+  return *TypeDescription::Parse(
+      "struct<id:bigint,name:string,score:double,flag:boolean>");
+}
+
+TypePtr NestedSchema() {
+  return *TypeDescription::Parse(
+      "struct<col1:int,col2:array<int>,"
+      "col4:map<string,struct<col7:string,col8:int>>,col9:string>");
+}
+
+Row NestedRow() {
+  Value inner1 = Value::MakeStruct({Value::String("s1"), Value::Int(10)});
+  Value inner2 = Value::MakeStruct({Value::String("s2"), Value::Null()});
+  return {
+      Value::Int(7),
+      Value::MakeArray({Value::Int(1), Value::Int(2), Value::Int(3)}),
+      Value::MakeMap({{Value::String("k1"), inner1},
+                      {Value::String("k2"), inner2}}),
+      Value::String("tail"),
+  };
+}
+
+template <typename SerDe>
+void ExpectRoundTrip(const SerDe& serde, const Row& row) {
+  std::string encoded;
+  ASSERT_TRUE(serde.Serialize(row, &encoded).ok());
+  Row decoded;
+  ASSERT_TRUE(serde.Deserialize(encoded, {}, &decoded).ok());
+  ASSERT_EQ(decoded.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(decoded[i].Compare(row[i]), 0)
+        << "col " << i << ": " << decoded[i].ToString() << " vs "
+        << row[i].ToString();
+  }
+}
+
+TEST(TextSerDeTest, FlatRoundTrip) {
+  TextSerDe serde(FlatSchema());
+  ExpectRoundTrip(serde, {Value::Int(42), Value::String("alice"),
+                          Value::Double(3.5), Value::Bool(true)});
+}
+
+TEST(TextSerDeTest, NullsRoundTrip) {
+  TextSerDe serde(FlatSchema());
+  ExpectRoundTrip(serde,
+                  {Value::Null(), Value::Null(), Value::Null(), Value::Null()});
+}
+
+TEST(TextSerDeTest, NestedRoundTrip) {
+  TextSerDe serde(NestedSchema());
+  ExpectRoundTrip(serde, NestedRow());
+}
+
+TEST(TextSerDeTest, ProjectionSkipsUnrequestedColumns) {
+  TextSerDe serde(FlatSchema());
+  Row row = {Value::Int(1), Value::String("bob"), Value::Double(2.5),
+             Value::Bool(false)};
+  std::string encoded;
+  ASSERT_TRUE(serde.Serialize(row, &encoded).ok());
+  Row decoded;
+  ASSERT_TRUE(serde.Deserialize(encoded, {1, 3}, &decoded).ok());
+  EXPECT_TRUE(decoded[0].is_null());   // Not projected.
+  EXPECT_EQ(decoded[1].AsString(), "bob");
+  EXPECT_TRUE(decoded[2].is_null());
+  EXPECT_EQ(decoded[3].AsBool(), false);
+}
+
+TEST(TextSerDeTest, NegativeNumbersAndEmptyString) {
+  TextSerDe serde(FlatSchema());
+  ExpectRoundTrip(serde, {Value::Int(-99), Value::String(""),
+                          Value::Double(-0.25), Value::Bool(false)});
+}
+
+TEST(TextSerDeTest, EmptyArrayAndMap) {
+  TextSerDe serde(NestedSchema());
+  ExpectRoundTrip(serde, {Value::Int(0), Value::MakeArray({}),
+                          Value::MakeMap({}), Value::String("x")});
+}
+
+TEST(TextSerDeTest, RejectsMalformedInteger) {
+  TextSerDe serde(FlatSchema());
+  Row decoded;
+  EXPECT_FALSE(serde.Deserialize("abc\x01name\x01\x31\x01true", {}, &decoded)
+                   .ok());
+}
+
+TEST(BinarySerDeTest, FlatRoundTrip) {
+  BinarySerDe serde(FlatSchema());
+  ExpectRoundTrip(serde, {Value::Int(42), Value::String("alice"),
+                          Value::Double(3.5), Value::Bool(true)});
+}
+
+TEST(BinarySerDeTest, NestedRoundTrip) {
+  BinarySerDe serde(NestedSchema());
+  ExpectRoundTrip(serde, NestedRow());
+}
+
+TEST(BinarySerDeTest, UnionRoundTrip) {
+  TypePtr schema =
+      *TypeDescription::Parse("struct<u:uniontype<int,string>>");
+  BinarySerDe serde(schema);
+  ExpectRoundTrip(serde, {Value::MakeUnion(0, Value::Int(5))});
+  ExpectRoundTrip(serde, {Value::MakeUnion(1, Value::String("str"))});
+}
+
+TEST(BinarySerDeTest, ProjectionSkipsBytes) {
+  BinarySerDe serde(FlatSchema());
+  Row row = {Value::Int(1), Value::String("carol"), Value::Double(0.5),
+             Value::Bool(true)};
+  std::string encoded;
+  ASSERT_TRUE(serde.Serialize(row, &encoded).ok());
+  Row decoded;
+  ASSERT_TRUE(serde.Deserialize(encoded, {3}, &decoded).ok());
+  EXPECT_TRUE(decoded[0].is_null());
+  EXPECT_TRUE(decoded[1].is_null());
+  EXPECT_TRUE(decoded[2].is_null());
+  EXPECT_EQ(decoded[3].AsBool(), true);
+}
+
+TEST(BinarySerDeTest, TruncatedInputFails) {
+  BinarySerDe serde(FlatSchema());
+  Row row = {Value::Int(1), Value::String("d"), Value::Double(1.0),
+             Value::Bool(true)};
+  std::string encoded;
+  ASSERT_TRUE(serde.Serialize(row, &encoded).ok());
+  Row decoded;
+  EXPECT_FALSE(
+      serde.Deserialize(std::string_view(encoded).substr(0, 3), {}, &decoded)
+          .ok());
+}
+
+TEST(SerDePropertyTest, RandomRowsRoundTripBothSerDes) {
+  TypePtr schema = FlatSchema();
+  TextSerDe text(schema);
+  BinarySerDe binary(schema);
+  Random rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    Row row = {
+        rng.Bernoulli(0.1) ? Value::Null()
+                           : Value::Int(rng.Range(-1000000, 1000000)),
+        rng.Bernoulli(0.1) ? Value::Null()
+                           : Value::String(rng.NextString(rng.Uniform(30))),
+        rng.Bernoulli(0.1) ? Value::Null()
+                           : Value::Double(rng.Range(-1000, 1000) * 0.25),
+        rng.Bernoulli(0.1) ? Value::Null() : Value::Bool(rng.Bernoulli(0.5)),
+    };
+    ExpectRoundTrip(text, row);
+    ExpectRoundTrip(binary, row);
+  }
+}
+
+}  // namespace
+}  // namespace minihive::serde

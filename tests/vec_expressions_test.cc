@@ -1,0 +1,220 @@
+#include "vec/vector_expressions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace minihive::vec {
+namespace {
+
+using exec::Expr;
+using exec::ExprKind;
+using exec::ExprPtr;
+
+/// Builds a batch with one long column (0) and one double column (1).
+std::unique_ptr<VectorizedRowBatch> TwoColumnBatch(int n) {
+  auto batch = std::make_unique<VectorizedRowBatch>(n);
+  batch->AddColumn(TypeKind::kBigInt);
+  batch->AddColumn(TypeKind::kDouble);
+  auto* longs = batch->LongCol(0);
+  auto* doubles = batch->DoubleCol(1);
+  for (int i = 0; i < n; ++i) {
+    longs->vector[i] = i;
+    doubles->vector[i] = i * 0.5;
+  }
+  batch->size = n;
+  return batch;
+}
+
+TEST(VectorExpressionTest, LongColumnPlusScalar) {
+  // The paper's Figure 8 expression: long column + constant.
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr e = Expr::Binary(ExprKind::kAdd,
+                           Expr::Column(0, TypeKind::kBigInt),
+                           Expr::Literal(Value::Int(100), TypeKind::kBigInt));
+  int out = -1;
+  auto compiled = compiler.CompileProjection(*e, &out);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  auto batch = MakeBatchFor(compiler.column_types(), 64);
+  auto* longs = batch->LongCol(0);
+  for (int i = 0; i < 64; ++i) longs->vector[i] = i;
+  batch->size = 64;
+  (*compiled)->Evaluate(batch.get());
+  auto* result = batch->LongCol(out);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(result->vector[i], i + 100);
+  }
+}
+
+TEST(VectorExpressionTest, ScalarMinusColumnAndColTimesCol) {
+  // (1 - discount) * price with double columns.
+  BatchCompiler compiler({TypeKind::kDouble, TypeKind::kDouble});
+  ExprPtr discount = Expr::Column(0, TypeKind::kDouble);
+  ExprPtr price = Expr::Column(1, TypeKind::kDouble);
+  ExprPtr e = Expr::Binary(
+      ExprKind::kMul,
+      Expr::Binary(ExprKind::kSub,
+                   Expr::Literal(Value::Double(1.0), TypeKind::kDouble),
+                   discount),
+      price);
+  int out = -1;
+  auto compiled = compiler.CompileProjection(*e, &out);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  auto batch = MakeBatchFor(compiler.column_types(), 128);
+  auto* d = batch->DoubleCol(0);
+  auto* p = batch->DoubleCol(1);
+  Random rng(1);
+  for (int i = 0; i < 128; ++i) {
+    d->vector[i] = rng.NextDouble() * 0.1;
+    p->vector[i] = rng.NextDouble() * 1000;
+  }
+  batch->size = 128;
+  (*compiled)->Evaluate(batch.get());
+  auto* result = batch->DoubleCol(out);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_DOUBLE_EQ(result->vector[i], (1.0 - d->vector[i]) * p->vector[i]);
+  }
+}
+
+TEST(VectorExpressionTest, MixedLongDoubleArithmetic) {
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr e = Expr::Binary(ExprKind::kAdd,
+                           Expr::Column(0, TypeKind::kBigInt),
+                           Expr::Column(1, TypeKind::kDouble));
+  int out = -1;
+  auto compiled = compiler.CompileProjection(*e, &out);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = MakeBatchFor(compiler.column_types(), 32);
+  auto* longs = batch->LongCol(0);
+  auto* doubles = batch->DoubleCol(1);
+  for (int i = 0; i < 32; ++i) {
+    longs->vector[i] = i;
+    doubles->vector[i] = 0.25;
+  }
+  batch->size = 32;
+  (*compiled)->Evaluate(batch.get());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(batch->DoubleCol(out)->vector[i], i + 0.25);
+  }
+}
+
+TEST(VectorExpressionTest, NullPropagation) {
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr e = Expr::Binary(ExprKind::kMul,
+                           Expr::Column(0, TypeKind::kBigInt),
+                           Expr::Literal(Value::Int(2), TypeKind::kBigInt));
+  int out = -1;
+  auto compiled = compiler.CompileProjection(*e, &out);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = MakeBatchFor(compiler.column_types(), 8);
+  auto* longs = batch->LongCol(0);
+  longs->no_nulls = false;
+  for (int i = 0; i < 8; ++i) {
+    longs->vector[i] = i;
+    longs->not_null[i] = i % 2 == 0;
+  }
+  batch->size = 8;
+  (*compiled)->Evaluate(batch.get());
+  auto* result = batch->LongCol(out);
+  EXPECT_FALSE(result->no_nulls);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(result->not_null[i] != 0, i % 2 == 0);
+  }
+}
+
+TEST(VectorFilterTest, SelectedArrayNarrowing) {
+  // Successive filters narrow `selected` in place (paper §6.2).
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr pred = Expr::Binary(
+      ExprKind::kAnd,
+      Expr::Binary(ExprKind::kGe, Expr::Column(0, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(10), TypeKind::kBigInt)),
+      Expr::Binary(ExprKind::kLt, Expr::Column(1, TypeKind::kDouble),
+                   Expr::Literal(Value::Double(20.0), TypeKind::kDouble)));
+  auto filters = compiler.CompileFilter(pred);
+  ASSERT_TRUE(filters.ok()) << filters.status().ToString();
+
+  auto batch = TwoColumnBatch(100);
+  for (auto& f : *filters) f->Filter(batch.get());
+  // Survivors: i >= 10 and i*0.5 < 20 => 10..39.
+  EXPECT_TRUE(batch->selected_in_use);
+  EXPECT_EQ(batch->selected_size, 30);
+  for (int j = 0; j < batch->selected_size; ++j) {
+    int i = batch->selected[j];
+    EXPECT_GE(i, 10);
+    EXPECT_LT(i, 40);
+  }
+}
+
+TEST(VectorFilterTest, BetweenFilter) {
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr pred = Expr::Between(
+      Expr::Column(1, TypeKind::kDouble),
+      Expr::Literal(Value::Double(5.0), TypeKind::kDouble),
+      Expr::Literal(Value::Double(10.0), TypeKind::kDouble));
+  auto filters = compiler.CompileFilter(pred);
+  ASSERT_TRUE(filters.ok());
+  auto batch = TwoColumnBatch(100);
+  for (auto& f : *filters) f->Filter(batch.get());
+  EXPECT_EQ(batch->selected_size, 11);  // 10..20 (i*0.5 in [5,10]).
+}
+
+TEST(VectorFilterTest, NullsNeverPassComparisons) {
+  BatchCompiler compiler({TypeKind::kBigInt});
+  ExprPtr pred = Expr::Binary(ExprKind::kGe,
+                              Expr::Column(0, TypeKind::kBigInt),
+                              Expr::Literal(Value::Int(0), TypeKind::kBigInt));
+  auto filters = compiler.CompileFilter(pred);
+  ASSERT_TRUE(filters.ok());
+  auto batch = MakeBatchFor(compiler.column_types(), 10);
+  auto* longs = batch->LongCol(0);
+  longs->no_nulls = false;
+  for (int i = 0; i < 10; ++i) {
+    longs->vector[i] = i;
+    longs->not_null[i] = i != 3 && i != 7;
+  }
+  batch->size = 10;
+  for (auto& f : *filters) f->Filter(batch.get());
+  EXPECT_EQ(batch->selected_size, 8);
+}
+
+TEST(VectorFilterTest, StringEqualityFilter) {
+  BatchCompiler compiler({TypeKind::kString});
+  ExprPtr pred = Expr::Binary(
+      ExprKind::kEq, Expr::Column(0, TypeKind::kString),
+      Expr::Literal(Value::String("hit"), TypeKind::kString));
+  auto filters = compiler.CompileFilter(pred);
+  ASSERT_TRUE(filters.ok());
+  auto batch = MakeBatchFor(compiler.column_types(), 6);
+  auto* strs = batch->BytesCol(0);
+  const char* values[] = {"hit", "miss", "hit", "x", "hit", ""};
+  for (int i = 0; i < 6; ++i) strs->SetVal(i, values[i]);
+  batch->size = 6;
+  for (auto& f : *filters) f->Filter(batch.get());
+  EXPECT_EQ(batch->selected_size, 3);
+}
+
+TEST(VectorCompilerTest, RejectsUnsupportedShapes) {
+  BatchCompiler compiler({TypeKind::kString});
+  // Arithmetic over a string column must fail validation (row fallback).
+  ExprPtr e = Expr::Binary(ExprKind::kAdd,
+                           Expr::Column(0, TypeKind::kString),
+                           Expr::Literal(Value::Int(1), TypeKind::kBigInt));
+  int out;
+  EXPECT_TRUE(compiler.CompileProjection(*e, &out)
+                  .status()
+                  .IsNotImplemented());
+  // OR is not supported by the in-place filter set.
+  ExprPtr pred = Expr::Binary(
+      ExprKind::kOr,
+      Expr::Binary(ExprKind::kEq, Expr::Column(0, TypeKind::kString),
+                   Expr::Literal(Value::String("a"), TypeKind::kString)),
+      Expr::Binary(ExprKind::kEq, Expr::Column(0, TypeKind::kString),
+                   Expr::Literal(Value::String("b"), TypeKind::kString)));
+  EXPECT_TRUE(compiler.CompileFilter(pred).status().IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace minihive::vec
