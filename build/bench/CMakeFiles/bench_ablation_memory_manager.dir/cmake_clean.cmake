@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory_manager.dir/bench_ablation_memory_manager.cc.o"
+  "CMakeFiles/bench_ablation_memory_manager.dir/bench_ablation_memory_manager.cc.o.d"
+  "bench_ablation_memory_manager"
+  "bench_ablation_memory_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ssdb.dir/bench_fig10_ssdb.cc.o"
+  "CMakeFiles/bench_fig10_ssdb.dir/bench_fig10_ssdb.cc.o.d"
+  "bench_fig10_ssdb"
+  "bench_fig10_ssdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ssdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

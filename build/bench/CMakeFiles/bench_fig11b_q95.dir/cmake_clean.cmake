@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_q95.dir/bench_fig11b_q95.cc.o"
+  "CMakeFiles/bench_fig11b_q95.dir/bench_fig11b_q95.cc.o.d"
+  "bench_fig11b_q95"
+  "bench_fig11b_q95.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_q95.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdb_array_queries.dir/ssdb_array_queries.cpp.o"
+  "CMakeFiles/ssdb_array_queries.dir/ssdb_array_queries.cpp.o.d"
+  "ssdb_array_queries"
+  "ssdb_array_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdb_array_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

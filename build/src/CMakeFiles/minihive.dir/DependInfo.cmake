@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cc" "src/CMakeFiles/minihive.dir/codec/codec.cc.o" "gcc" "src/CMakeFiles/minihive.dir/codec/codec.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/minihive.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/minihive.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/minihive.dir/common/status.cc.o" "gcc" "src/CMakeFiles/minihive.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/minihive.dir/common/types.cc.o" "gcc" "src/CMakeFiles/minihive.dir/common/types.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/minihive.dir/common/value.cc.o" "gcc" "src/CMakeFiles/minihive.dir/common/value.cc.o.d"
+  "/root/repo/src/datagen/loader.cc" "src/CMakeFiles/minihive.dir/datagen/loader.cc.o" "gcc" "src/CMakeFiles/minihive.dir/datagen/loader.cc.o.d"
+  "/root/repo/src/datagen/ssdb.cc" "src/CMakeFiles/minihive.dir/datagen/ssdb.cc.o" "gcc" "src/CMakeFiles/minihive.dir/datagen/ssdb.cc.o.d"
+  "/root/repo/src/datagen/tpcds.cc" "src/CMakeFiles/minihive.dir/datagen/tpcds.cc.o" "gcc" "src/CMakeFiles/minihive.dir/datagen/tpcds.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "src/CMakeFiles/minihive.dir/datagen/tpch.cc.o" "gcc" "src/CMakeFiles/minihive.dir/datagen/tpch.cc.o.d"
+  "/root/repo/src/dfs/file_system.cc" "src/CMakeFiles/minihive.dir/dfs/file_system.cc.o" "gcc" "src/CMakeFiles/minihive.dir/dfs/file_system.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/minihive.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/minihive.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/minihive.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/minihive.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/minihive.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/minihive.dir/exec/plan.cc.o.d"
+  "/root/repo/src/formats/format.cc" "src/CMakeFiles/minihive.dir/formats/format.cc.o" "gcc" "src/CMakeFiles/minihive.dir/formats/format.cc.o.d"
+  "/root/repo/src/formats/orcfile_adapter.cc" "src/CMakeFiles/minihive.dir/formats/orcfile_adapter.cc.o" "gcc" "src/CMakeFiles/minihive.dir/formats/orcfile_adapter.cc.o.d"
+  "/root/repo/src/formats/rcfile.cc" "src/CMakeFiles/minihive.dir/formats/rcfile.cc.o" "gcc" "src/CMakeFiles/minihive.dir/formats/rcfile.cc.o.d"
+  "/root/repo/src/formats/seqfile.cc" "src/CMakeFiles/minihive.dir/formats/seqfile.cc.o" "gcc" "src/CMakeFiles/minihive.dir/formats/seqfile.cc.o.d"
+  "/root/repo/src/formats/textfile.cc" "src/CMakeFiles/minihive.dir/formats/textfile.cc.o" "gcc" "src/CMakeFiles/minihive.dir/formats/textfile.cc.o.d"
+  "/root/repo/src/mr/engine.cc" "src/CMakeFiles/minihive.dir/mr/engine.cc.o" "gcc" "src/CMakeFiles/minihive.dir/mr/engine.cc.o.d"
+  "/root/repo/src/orc/layout.cc" "src/CMakeFiles/minihive.dir/orc/layout.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/layout.cc.o.d"
+  "/root/repo/src/orc/reader.cc" "src/CMakeFiles/minihive.dir/orc/reader.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/reader.cc.o.d"
+  "/root/repo/src/orc/sarg.cc" "src/CMakeFiles/minihive.dir/orc/sarg.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/sarg.cc.o.d"
+  "/root/repo/src/orc/statistics.cc" "src/CMakeFiles/minihive.dir/orc/statistics.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/statistics.cc.o.d"
+  "/root/repo/src/orc/stream_encoding.cc" "src/CMakeFiles/minihive.dir/orc/stream_encoding.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/stream_encoding.cc.o.d"
+  "/root/repo/src/orc/writer.cc" "src/CMakeFiles/minihive.dir/orc/writer.cc.o" "gcc" "src/CMakeFiles/minihive.dir/orc/writer.cc.o.d"
+  "/root/repo/src/ql/analyzer.cc" "src/CMakeFiles/minihive.dir/ql/analyzer.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/analyzer.cc.o.d"
+  "/root/repo/src/ql/catalog.cc" "src/CMakeFiles/minihive.dir/ql/catalog.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/catalog.cc.o.d"
+  "/root/repo/src/ql/driver.cc" "src/CMakeFiles/minihive.dir/ql/driver.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/driver.cc.o.d"
+  "/root/repo/src/ql/optimizer.cc" "src/CMakeFiles/minihive.dir/ql/optimizer.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/optimizer.cc.o.d"
+  "/root/repo/src/ql/parser.cc" "src/CMakeFiles/minihive.dir/ql/parser.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/parser.cc.o.d"
+  "/root/repo/src/ql/runtime.cc" "src/CMakeFiles/minihive.dir/ql/runtime.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/runtime.cc.o.d"
+  "/root/repo/src/ql/task_compiler.cc" "src/CMakeFiles/minihive.dir/ql/task_compiler.cc.o" "gcc" "src/CMakeFiles/minihive.dir/ql/task_compiler.cc.o.d"
+  "/root/repo/src/serde/serde.cc" "src/CMakeFiles/minihive.dir/serde/serde.cc.o" "gcc" "src/CMakeFiles/minihive.dir/serde/serde.cc.o.d"
+  "/root/repo/src/vec/vector_expressions.cc" "src/CMakeFiles/minihive.dir/vec/vector_expressions.cc.o" "gcc" "src/CMakeFiles/minihive.dir/vec/vector_expressions.cc.o.d"
+  "/root/repo/src/vec/vectorized_pipeline.cc" "src/CMakeFiles/minihive.dir/vec/vectorized_pipeline.cc.o" "gcc" "src/CMakeFiles/minihive.dir/vec/vectorized_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for minihive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_coordination_test.dir/exec_coordination_test.cc.o"
+  "CMakeFiles/exec_coordination_test.dir/exec_coordination_test.cc.o.d"
+  "exec_coordination_test"
+  "exec_coordination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_coordination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

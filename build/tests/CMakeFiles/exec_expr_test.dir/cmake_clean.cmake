@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_expr_test.dir/exec_expr_test.cc.o"
+  "CMakeFiles/exec_expr_test.dir/exec_expr_test.cc.o.d"
+  "exec_expr_test"
+  "exec_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formats_split_property_test.dir/formats_split_property_test.cc.o"
+  "CMakeFiles/formats_split_property_test.dir/formats_split_property_test.cc.o.d"
+  "formats_split_property_test"
+  "formats_split_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formats_split_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

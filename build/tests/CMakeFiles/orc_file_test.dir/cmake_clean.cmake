@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_file_test.dir/orc_file_test.cc.o"
+  "CMakeFiles/orc_file_test.dir/orc_file_test.cc.o.d"
+  "orc_file_test"
+  "orc_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_fuzz_test.dir/orc_fuzz_test.cc.o"
+  "CMakeFiles/orc_fuzz_test.dir/orc_fuzz_test.cc.o.d"
+  "orc_fuzz_test"
+  "orc_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_layout_test.dir/orc_layout_test.cc.o"
+  "CMakeFiles/orc_layout_test.dir/orc_layout_test.cc.o.d"
+  "orc_layout_test"
+  "orc_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_sarg_test.dir/orc_sarg_test.cc.o"
+  "CMakeFiles/orc_sarg_test.dir/orc_sarg_test.cc.o.d"
+  "orc_sarg_test"
+  "orc_sarg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_sarg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

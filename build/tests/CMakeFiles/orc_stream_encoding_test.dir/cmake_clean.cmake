@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orc_stream_encoding_test.dir/orc_stream_encoding_test.cc.o"
+  "CMakeFiles/orc_stream_encoding_test.dir/orc_stream_encoding_test.cc.o.d"
+  "orc_stream_encoding_test"
+  "orc_stream_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orc_stream_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_consistency_test.dir/ql_consistency_test.cc.o"
+  "CMakeFiles/ql_consistency_test.dir/ql_consistency_test.cc.o.d"
+  "ql_consistency_test"
+  "ql_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

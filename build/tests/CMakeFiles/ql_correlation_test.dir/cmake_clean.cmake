@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_correlation_test.dir/ql_correlation_test.cc.o"
+  "CMakeFiles/ql_correlation_test.dir/ql_correlation_test.cc.o.d"
+  "ql_correlation_test"
+  "ql_correlation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_driver_test.dir/ql_driver_test.cc.o"
+  "CMakeFiles/ql_driver_test.dir/ql_driver_test.cc.o.d"
+  "ql_driver_test"
+  "ql_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

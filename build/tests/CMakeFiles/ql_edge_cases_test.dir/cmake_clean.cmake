@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_edge_cases_test.dir/ql_edge_cases_test.cc.o"
+  "CMakeFiles/ql_edge_cases_test.dir/ql_edge_cases_test.cc.o.d"
+  "ql_edge_cases_test"
+  "ql_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

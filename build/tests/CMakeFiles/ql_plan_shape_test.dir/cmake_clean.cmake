@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_plan_shape_test.dir/ql_plan_shape_test.cc.o"
+  "CMakeFiles/ql_plan_shape_test.dir/ql_plan_shape_test.cc.o.d"
+  "ql_plan_shape_test"
+  "ql_plan_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_plan_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ql_stats_aggregation_test.dir/ql_stats_aggregation_test.cc.o"
+  "CMakeFiles/ql_stats_aggregation_test.dir/ql_stats_aggregation_test.cc.o.d"
+  "ql_stats_aggregation_test"
+  "ql_stats_aggregation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ql_stats_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

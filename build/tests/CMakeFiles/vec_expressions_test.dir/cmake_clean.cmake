@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_expressions_test.dir/vec_expressions_test.cc.o"
+  "CMakeFiles/vec_expressions_test.dir/vec_expressions_test.cc.o.d"
+  "vec_expressions_test"
+  "vec_expressions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_expressions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_pipeline_test.dir/vec_pipeline_test.cc.o"
+  "CMakeFiles/vec_pipeline_test.dir/vec_pipeline_test.cc.o.d"
+  "vec_pipeline_test"
+  "vec_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_repeating_test.dir/vec_repeating_test.cc.o"
+  "CMakeFiles/vec_repeating_test.dir/vec_repeating_test.cc.o.d"
+  "vec_repeating_test"
+  "vec_repeating_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_repeating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
