@@ -81,6 +81,13 @@ int Main() {
     std::printf("  %-34s elapsed %8.0f ms   jobs=%d (map-only=%d) rows=%zu\n",
                 configs[c].label, elapsed[c], jobs[c],
                 result.num_map_only_jobs, rows[c]);
+    std::printf("  %-34s shuffled %s MB  sort %s ms  combine %llu -> %llu\n",
+                "", bench::Mb(result.counters.shuffled_bytes.load()).c_str(),
+                bench::Fmt(result.counters.shuffle_sort_millis(), 1).c_str(),
+                static_cast<unsigned long long>(
+                    result.counters.combine_input_records.load()),
+                static_cast<unsigned long long>(
+                    result.counters.combine_output_records.load()));
   }
 
   std::printf("\nshape checks:\n");

@@ -217,4 +217,13 @@ uint64_t HashRowOn(const Row& row, const std::vector<int>& cols) {
   return h;
 }
 
+uint64_t HashRowAllCols(const Row& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row) {
+    h = (h ^ v.Hash()) * 0xff51afd7ed558ccdULL;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
 }  // namespace minihive

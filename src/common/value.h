@@ -120,6 +120,10 @@ int CompareRowsOn(const Row& a, const Row& b, const std::vector<int>& cols);
 /// Combined hash of a subset of columns (for shuffle partitioning).
 uint64_t HashRowOn(const Row& row, const std::vector<int>& cols);
 
+/// Combined hash of every column — the shuffle-partitioning hot path,
+/// avoiding the index-vector allocation of HashRowOn.
+uint64_t HashRowAllCols(const Row& row);
+
 }  // namespace minihive
 
 #endif  // MINIHIVE_COMMON_VALUE_H_

@@ -158,6 +158,13 @@ class GroupByOperator : public Operator {
         it = hash_.emplace(std::move(key_bytes), std::move(entry)).first;
       }
       for (AggBuffer& buffer : it->second.buffers) buffer.Update(row);
+      if (desc_->gby_max_hash_entries > 0 &&
+          hash_.size() >= static_cast<size_t>(desc_->gby_max_hash_entries)) {
+        // Memory-bounded partial aggregation: emit the partials downstream
+        // and start over. Downstream (the shuffle, then the combiner/reduce
+        // merge) re-aggregates the duplicates this creates.
+        MINIHIVE_RETURN_IF_ERROR(FlushHash());
+      }
       return Status::OK();
     }
     // Streaming (reduce-side) modes.

@@ -86,6 +86,11 @@ struct OpDesc {
   /// into a merged reduce phase: the hash table flushes at every key-group
   /// end instead of at task end (the Mux coordination of §5.2.2).
   bool gby_flush_on_end_group = false;
+  /// kHash mode: flush partials downstream whenever the table reaches this
+  /// many entries (0 = unbounded). Bounds map-side aggregation memory, as
+  /// hive.map.aggr.hash.percentmemory does; the shuffle combiner re-merges
+  /// the duplicate partials the flushes create.
+  int gby_max_hash_entries = 0;
 
   // ---- ReduceSink ----
   std::vector<ExprPtr> sink_keys;

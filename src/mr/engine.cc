@@ -44,19 +44,22 @@ bool SameKey(const Row& a, const Row& b) {
   return true;
 }
 
-/// Collects one map task's shuffle output, hash-partitioned.
+/// Collects one map task's shuffle output, hash-partitioned. After the map
+/// task finishes, each partition's records are sorted in place (and
+/// optionally combined) so the reduce side only has to merge.
 class PartitionedEmitter : public ShuffleEmitter {
  public:
   PartitionedEmitter(int num_partitions, JobCounters* counters)
-      : partitions_(num_partitions), counters_(counters) {}
+      : partitions_(num_partitions), counters_(counters) {
+    // Shuffle runs grow record by record; start them off the small-size
+    // doubling treadmill.
+    for (auto& run : partitions_) run.reserve(64);
+  }
 
   Status Emit(Row key, Row value, int tag) override {
-    std::vector<int> all_cols(key.size());
-    for (size_t i = 0; i < key.size(); ++i) all_cols[i] = static_cast<int>(i);
-    uint64_t hash = HashRowOn(key, all_cols);
+    uint64_t hash = HashRowAllCols(key);
     size_t partition = partitions_.empty() ? 0 : hash % partitions_.size();
     counters_->map_output_records += 1;
-    counters_->shuffled_bytes += EstimateRowBytes(key) + EstimateRowBytes(value);
     partitions_[partition].push_back(
         {std::move(key), std::move(value), tag});
     return Status::OK();
@@ -68,6 +71,80 @@ class PartitionedEmitter : public ShuffleEmitter {
   std::vector<std::vector<ShuffleRecord>> partitions_;
   JobCounters* counters_;
 };
+
+/// Shuffle emitter handed to a combiner: captures its output so it can
+/// replace the run being combined.
+class CollectingEmitter : public ShuffleEmitter {
+ public:
+  Status Emit(Row key, Row value, int tag) override {
+    records_.push_back({std::move(key), std::move(value), tag});
+    return Status::OK();
+  }
+
+  std::vector<ShuffleRecord>& records() { return records_; }
+
+ private:
+  std::vector<ShuffleRecord> records_;
+};
+
+/// Drives `reduce` (a ReduceTask-protocol consumer) over records delivered
+/// in (key, tag) order, inserting group-boundary signals at key changes.
+/// `next` yields the next record or nullptr when exhausted.
+template <typename NextFn>
+Status DriveGroups(ReduceTask* reduce, NextFn&& next) {
+  bool group_open = false;
+  Row current_key;
+  for (const ShuffleRecord* record = next(); record != nullptr;
+       record = next()) {
+    if (!group_open || !SameKey(current_key, record->key)) {
+      if (group_open) {
+        MINIHIVE_RETURN_IF_ERROR(reduce->EndGroup());
+      }
+      MINIHIVE_RETURN_IF_ERROR(reduce->StartGroup(record->key));
+      group_open = true;
+      current_key = record->key;
+    }
+    MINIHIVE_RETURN_IF_ERROR(
+        reduce->Reduce(record->key, record->value, record->tag));
+  }
+  if (group_open) {
+    MINIHIVE_RETURN_IF_ERROR(reduce->EndGroup());
+  }
+  return reduce->Finish();
+}
+
+/// Map-side run formation: sorts every partition run of one map task's
+/// output, folds each sorted run through the combiner (when configured),
+/// and accounts the post-combine records as the task's shuffled bytes.
+Status SortAndCombineRuns(PartitionedEmitter* emitter, const JobConfig& job,
+                          JobCounters* counters) {
+  Stopwatch sort_watch;
+  ShuffleLess less{&job.sort_ascending};
+  for (auto& run : emitter->partitions()) {
+    if (run.empty()) continue;
+    std::sort(run.begin(), run.end(), less);
+    if (job.combiner_factory) {
+      CollectingEmitter combined;
+      std::unique_ptr<ReduceTask> combiner = job.combiner_factory(&combined);
+      size_t pos = 0;
+      MINIHIVE_RETURN_IF_ERROR(
+          DriveGroups(combiner.get(), [&]() -> const ShuffleRecord* {
+            return pos < run.size() ? &run[pos++] : nullptr;
+          }));
+      counters->combine_input_records += run.size();
+      counters->combine_output_records += combined.records().size();
+      run = std::move(combined.records());
+    }
+    uint64_t run_bytes = 0;
+    for (const ShuffleRecord& record : run) {
+      run_bytes += EstimateRowBytes(record.key) + EstimateRowBytes(record.value);
+    }
+    counters->shuffled_bytes += run_bytes;
+  }
+  counters->shuffle_sort_nanos += static_cast<int64_t>(
+      sort_watch.ElapsedMillis() * 1e6);
+  return Status::OK();
+}
 
 /// Runs `count` tasks on up to `workers` threads; collects the first error.
 Status RunParallel(int count, int workers,
@@ -111,7 +188,9 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   counters->map_tasks = static_cast<int>(job.splits.size());
   counters->reduce_tasks = job.num_reducers;
 
-  // ---- Map phase.
+  // ---- Map phase: run the map task, then form this task's sorted
+  // (and combined) runs while still on the worker thread — the expensive
+  // sort work happens where it is cheap and parallel.
   Stopwatch map_watch;
   int num_partitions = std::max(job.num_reducers, 1);
   std::vector<std::unique_ptr<PartitionedEmitter>> emitters(job.splits.size());
@@ -123,6 +202,9 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
             std::make_unique<PartitionedEmitter>(num_partitions, counters);
         std::unique_ptr<MapTask> task = job.map_factory();
         Status s = task->Run(job.splits[index], index, emitter.get());
+        if (s.ok() && job.num_reducers > 0) {
+          s = SortAndCombineRuns(emitter.get(), job, counters);
+        }
         emitters[index] = std::move(emitter);
         counters->cpu_nanos += cpu.ElapsedNanos();
         return s;
@@ -135,49 +217,64 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
     return Status::InvalidArgument("job has reducers but no reduce factory");
   }
 
-  // ---- Shuffle + reduce phase (starts after the whole map phase).
+  // ---- Shuffle + reduce phase (starts after the whole map phase). Each
+  // reduce task k-way merges its partition's per-map sorted runs with a
+  // binary heap — O(N log M) for M runs, reading the runs in place (no
+  // second copy of the partition) — and pushes the merged stream into the
+  // Reducer Driver with group boundary signals.
   Stopwatch reduce_watch;
   status = RunParallel(
       job.num_reducers, options_.num_workers, [&](int partition) -> Status {
         ThreadCpuTimer cpu;
-        // Gather this partition's records from every map task and sort by
-        // (key, tag) — the sort-merge shuffle.
-        std::vector<ShuffleRecord> records;
+        struct RunCursor {
+          const std::vector<ShuffleRecord>* run;
+          size_t pos;
+          int run_index;  // Map task index: the tie-break, for determinism.
+          const ShuffleRecord& record() const { return (*run)[pos]; }
+        };
+        ShuffleLess less{&job.sort_ascending};
+        // `after(a, b)` == "a merges after b": a min-heap via the inverted
+        // comparator of std::make_heap/push_heap (which build max-heaps).
+        auto after = [&less](const RunCursor& a, const RunCursor& b) {
+          if (less(b.record(), a.record())) return true;
+          if (less(a.record(), b.record())) return false;
+          return b.run_index < a.run_index;
+        };
+        std::vector<RunCursor> heap;
+        heap.reserve(emitters.size());
         size_t total = 0;
-        for (const auto& emitter : emitters) {
-          if (emitter) total += emitter->partitions()[partition].size();
+        for (size_t m = 0; m < emitters.size(); ++m) {
+          if (!emitters[m]) continue;
+          const auto& run = emitters[m]->partitions()[partition];
+          if (run.empty()) continue;
+          total += run.size();
+          heap.push_back({&run, 0, static_cast<int>(m)});
         }
-        records.reserve(total);
-        for (const auto& emitter : emitters) {
-          if (!emitter) continue;
-          auto& src = emitter->partitions()[partition];
-          std::move(src.begin(), src.end(), std::back_inserter(records));
-          src.clear();
-        }
-        std::sort(records.begin(), records.end(),
-                  ShuffleLess{&job.sort_ascending});
-        counters->reduce_input_records += records.size();
+        std::make_heap(heap.begin(), heap.end(), after);
+        counters->reduce_input_records += total;
 
-        // Reducer Driver: push rows with group boundary signals.
         std::unique_ptr<ReduceTask> task = job.reduce_factory(partition);
-        bool group_open = false;
-        const Row* current_key = nullptr;
-        for (const ShuffleRecord& record : records) {
-          if (!group_open || !SameKey(*current_key, record.key)) {
-            if (group_open) {
-              MINIHIVE_RETURN_IF_ERROR(task->EndGroup());
-            }
-            MINIHIVE_RETURN_IF_ERROR(task->StartGroup(record.key));
-            group_open = true;
-            current_key = &record.key;
+        auto next = [&]() -> const ShuffleRecord* {
+          if (heap.empty()) return nullptr;
+          std::pop_heap(heap.begin(), heap.end(), after);
+          RunCursor& cursor = heap.back();
+          const ShuffleRecord* record = &cursor.record();
+          if (++cursor.pos < cursor.run->size()) {
+            std::push_heap(heap.begin(), heap.end(), after);
+          } else {
+            heap.pop_back();
           }
-          MINIHIVE_RETURN_IF_ERROR(
-              task->Reduce(record.key, record.value, record.tag));
+          return record;
+        };
+        Status s = DriveGroups(task.get(), next);
+        // Release this partition's runs; the job may hold many partitions.
+        for (const auto& emitter : emitters) {
+          if (emitter) {
+            auto& run = emitter->partitions()[partition];
+            run.clear();
+            run.shrink_to_fit();
+          }
         }
-        if (group_open) {
-          MINIHIVE_RETURN_IF_ERROR(task->EndGroup());
-        }
-        Status s = task->Finish();
         counters->cpu_nanos += cpu.ElapsedNanos();
         return s;
       });
@@ -186,14 +283,12 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   return Status::OK();
 }
 
-std::vector<InputSplit> ComputeSplits(dfs::FileSystem* fs,
-                                      const std::vector<std::string>& paths,
-                                      uint64_t split_size, int source_tag) {
+Result<std::vector<InputSplit>> ComputeSplits(
+    dfs::FileSystem* fs, const std::vector<std::string>& paths,
+    uint64_t split_size, int source_tag) {
   std::vector<InputSplit> splits;
   for (const std::string& path : paths) {
-    auto size_result = fs->FileSize(path);
-    if (!size_result.ok()) continue;
-    uint64_t size = *size_result;
+    MINIHIVE_ASSIGN_OR_RETURN(uint64_t size, fs->FileSize(path));
     if (size == 0) continue;
     auto file_result = fs->Open(path);
     for (uint64_t offset = 0; offset < size; offset += split_size) {

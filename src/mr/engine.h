@@ -35,7 +35,16 @@ struct JobCounters {
   std::atomic<uint64_t> map_output_records{0};
   std::atomic<uint64_t> reduce_input_records{0};
   std::atomic<uint64_t> shuffled_bytes{0};
+  /// Records fed into / emitted by map-side combiners (0 when no combiner
+  /// is configured). combine_output <= combine_input; the gap is what the
+  /// combiner kept off the wire.
+  std::atomic<uint64_t> combine_input_records{0};
+  std::atomic<uint64_t> combine_output_records{0};
   std::atomic<int64_t> cpu_nanos{0};
+  /// Wall time spent forming sorted runs inside map tasks (run sort +
+  /// combine), summed over tasks; runs in parallel, so it can exceed
+  /// map_phase_millis.
+  std::atomic<int64_t> shuffle_sort_nanos{0};
   int map_tasks = 0;
   int reduce_tasks = 0;
   double map_phase_millis = 0;
@@ -50,7 +59,10 @@ struct JobCounters {
     map_output_records = other.map_output_records.load();
     reduce_input_records = other.reduce_input_records.load();
     shuffled_bytes = other.shuffled_bytes.load();
+    combine_input_records = other.combine_input_records.load();
+    combine_output_records = other.combine_output_records.load();
     cpu_nanos = other.cpu_nanos.load();
+    shuffle_sort_nanos = other.shuffle_sort_nanos.load();
     map_tasks = other.map_tasks;
     reduce_tasks = other.reduce_tasks;
     map_phase_millis = other.map_phase_millis;
@@ -59,13 +71,17 @@ struct JobCounters {
   }
 
   double cpu_millis() const { return cpu_nanos.load() / 1e6; }
+  double shuffle_sort_millis() const { return shuffle_sort_nanos.load() / 1e6; }
 
   void AccumulateInto(JobCounters* total) const {
     total->map_input_records += map_input_records.load();
     total->map_output_records += map_output_records.load();
     total->reduce_input_records += reduce_input_records.load();
     total->shuffled_bytes += shuffled_bytes.load();
+    total->combine_input_records += combine_input_records.load();
+    total->combine_output_records += combine_output_records.load();
     total->cpu_nanos += cpu_nanos.load();
+    total->shuffle_sort_nanos += shuffle_sort_nanos.load();
     total->map_tasks += map_tasks;
     total->reduce_tasks += reduce_tasks;
     total->map_phase_millis += map_phase_millis;
@@ -108,6 +124,15 @@ class ReduceTask {
 using MapTaskFactory = std::function<std::unique_ptr<MapTask>()>;
 /// Invoked once per reduce task with its partition index.
 using ReduceTaskFactory = std::function<std::unique_ptr<ReduceTask>(int)>;
+/// Builds a map-side combiner: a ReduceTask driven over one sorted run
+/// (StartGroup/Reduce/EndGroup/Finish) whose output — written through the
+/// given emitter — replaces that run in the shuffle. A combiner must emit
+/// records carrying the key of the group being combined (so the run stays
+/// sorted and rows keep their partition), and its output must be
+/// re-combinable: the reduce side sees combined and uncombined records mixed
+/// (Hadoop's "combiner may run zero or more times" contract).
+using CombinerFactory =
+    std::function<std::unique_ptr<ReduceTask>(ShuffleEmitter* out)>;
 
 struct JobConfig {
   std::string name;
@@ -116,6 +141,8 @@ struct JobConfig {
   int num_reducers = 0;
   MapTaskFactory map_factory;
   ReduceTaskFactory reduce_factory;  // Required when num_reducers > 0.
+  /// Optional pre-aggregation over each map task's sorted runs.
+  CombinerFactory combiner_factory;
   /// Shuffle sort direction per key column (empty = all ascending).
   std::vector<bool> sort_ascending;
 };
@@ -129,10 +156,13 @@ struct EngineOptions {
   int job_startup_ms = 0;
 };
 
-/// An in-process MapReduce engine: runs map tasks over input splits, hash
-/// partitions and sorts (key, tag) shuffle records, then drives reduce
-/// tasks push-style with group signals. The reduce phase starts only after
-/// the whole map phase finishes (matching the paper's Hadoop config).
+/// An in-process MapReduce engine with a sort-merge shuffle: map tasks hash
+/// partition their (key, tag) records, sort each partition run *inside the
+/// map task* (and optionally fold it through a combiner), and reduce tasks
+/// k-way merge the per-map sorted runs — O(N log M) instead of re-sorting
+/// the whole partition — driving reduce logic push-style with group
+/// signals. The reduce phase starts only after the whole map phase finishes
+/// (matching the paper's Hadoop config).
 class Engine {
  public:
   explicit Engine(dfs::FileSystem* fs, EngineOptions options = EngineOptions());
@@ -147,10 +177,12 @@ class Engine {
 };
 
 /// Computes input splits for a set of files: one split per `split_size`
-/// bytes, with locality set to the first block's first replica.
-std::vector<InputSplit> ComputeSplits(dfs::FileSystem* fs,
-                                      const std::vector<std::string>& paths,
-                                      uint64_t split_size, int source_tag);
+/// bytes, with locality set to the first block's first replica. Fails if
+/// any listed file cannot be stat'ed (missing or unreadable inputs must
+/// fail the job, not silently shrink it).
+Result<std::vector<InputSplit>> ComputeSplits(
+    dfs::FileSystem* fs, const std::vector<std::string>& paths,
+    uint64_t split_size, int source_tag);
 
 /// Rough serialized size of a row (shuffle byte accounting).
 uint64_t EstimateRowBytes(const Row& row);

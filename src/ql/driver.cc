@@ -64,9 +64,11 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
     MINIHIVE_RETURN_IF_ERROR(ApplyCorrelationOptimizer(&plan));
   }
 
-  MINIHIVE_ASSIGN_OR_RETURN(
-      CompiledPlan compiled,
-      CompileTasks(&plan, scratch, options_.default_reducers));
+  CompileTasksOptions compile_options;
+  compile_options.default_reducers = options_.default_reducers;
+  compile_options.map_aggr_flush_entries = options_.map_aggr_flush_entries;
+  MINIHIVE_ASSIGN_OR_RETURN(CompiledPlan compiled,
+                            CompileTasks(&plan, scratch, compile_options));
 
   QueryResult result;
   result.column_names = plan.result_names;
@@ -86,6 +88,7 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   exec_options.num_workers = options_.num_workers;
   exec_options.job_startup_ms = options_.job_startup_ms;
   exec_options.vectorized = options_.vectorized_execution;
+  exec_options.use_combiner = options_.shuffle_combiner;
   PlanExecutor executor(fs_, catalog_, exec_options);
   MINIHIVE_RETURN_IF_ERROR(
       executor.Run(compiled, &result.counters, &result.jobs));

@@ -105,16 +105,21 @@ class RowMapTask : public mr::MapTask {
   bool vectorized_;
 };
 
+/// Drives a reduce-entry operator pipeline with the engine's push-style
+/// ReduceTask protocol. Doubles as the combiner driver: a combiner is the
+/// same protocol run over one map task's sorted run, with `emitter`
+/// capturing the pipeline's ReduceSink output.
 class RowReduceTask : public mr::ReduceTask {
  public:
   RowReduceTask(dfs::FileSystem* fs, const OpDesc* reduce_root,
                 const std::unordered_map<
                     int, std::shared_ptr<exec::MapJoinTables>>* mapjoin_tables,
-                int partition)
+                int partition, mr::ShuffleEmitter* emitter = nullptr)
       : fs_(fs),
         reduce_root_(reduce_root),
         mapjoin_tables_(mapjoin_tables),
-        partition_(partition) {}
+        partition_(partition),
+        emitter_(emitter) {}
 
   Status StartGroup(const Row& key) override {
     (void)key;
@@ -143,8 +148,10 @@ class RowReduceTask : public mr::ReduceTask {
   Status EnsureInit() {
     if (root_ != nullptr) return Status::OK();
     ctx_.fs = fs_;
-    ctx_.task_suffix = "r-" + std::to_string(partition_);
+    ctx_.task_suffix = (emitter_ != nullptr ? "c-" : "r-") +
+                       std::to_string(partition_);
     ctx_.mapjoin_tables = mapjoin_tables_;
+    ctx_.emitter = emitter_;
     MINIHIVE_ASSIGN_OR_RETURN(root_,
                               exec::BuildOperatorTree(reduce_root_, &arena_));
     return root_->Init(&ctx_);
@@ -155,6 +162,7 @@ class RowReduceTask : public mr::ReduceTask {
   const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
       mapjoin_tables_;
   int partition_;
+  mr::ShuffleEmitter* emitter_;
   exec::TaskContext ctx_;
   exec::OperatorArena arena_;
   exec::Operator* root_ = nullptr;
@@ -244,8 +252,10 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
   uint64_t split_size =
       options_.split_size > 0 ? options_.split_size : fs_->block_size();
   for (size_t i = 0; i < sources->size(); ++i) {
-    std::vector<mr::InputSplit> splits = mr::ComputeSplits(
-        fs_, (*sources)[i].paths, split_size, static_cast<int>(i));
+    MINIHIVE_ASSIGN_OR_RETURN(
+        std::vector<mr::InputSplit> splits,
+        mr::ComputeSplits(fs_, (*sources)[i].paths, split_size,
+                          static_cast<int>(i)));
     config.splits.insert(config.splits.end(), splits.begin(), splits.end());
   }
   config.num_reducers = job.num_reducers;
@@ -263,6 +273,15 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
       return std::make_unique<RowReduceTask>(fs, reduce_root,
                                              mapjoin_tables.get(), partition);
     };
+    if (options_.use_combiner && job.combine_root != nullptr) {
+      const OpDesc* combine_root = job.combine_root.get();
+      config.combiner_factory =
+          [fs, combine_root, mapjoin_tables](mr::ShuffleEmitter* out) {
+            return std::make_unique<RowReduceTask>(fs, combine_root,
+                                                   mapjoin_tables.get(),
+                                                   /*partition=*/0, out);
+          };
+    }
   }
   return engine_.RunJob(config, counters);
 }

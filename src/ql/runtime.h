@@ -23,6 +23,9 @@ struct ExecutionOptions {
   /// Use the vectorized execution engine for eligible map pipelines
   /// (paper §6); ineligible pipelines fall back to row mode.
   bool vectorized = false;
+  /// Run the combiner pipelines the task compiler attached to eligible
+  /// GROUP BY jobs (map-side pre-aggregation over sorted shuffle runs).
+  bool use_combiner = true;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 
@@ -189,7 +190,8 @@ TEST(ComputeSplitsTest, SplitsCoverFilesWithLocality) {
   ASSERT_TRUE(w->Append(std::string(3500, 'x')).ok());
   ASSERT_TRUE(w->Close().ok());
 
-  std::vector<InputSplit> splits = ComputeSplits(&fs, {"/data"}, 1000, 7);
+  std::vector<InputSplit> splits =
+      std::move(ComputeSplits(&fs, {"/data"}, 1000, 7)).ValueOrDie();
   ASSERT_EQ(splits.size(), 4u);
   uint64_t covered = 0;
   for (const InputSplit& split : splits) {
@@ -198,6 +200,264 @@ TEST(ComputeSplitsTest, SplitsCoverFilesWithLocality) {
     covered += split.length;
   }
   EXPECT_EQ(covered, 3500u);
+}
+
+TEST(ComputeSplitsTest, UnreadableFileIsAnError) {
+  dfs::FileSystem fs;
+  auto w = std::move(fs.Create("/exists")).ValueOrDie();
+  ASSERT_TRUE(w->Append("payload").ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  auto result = ComputeSplits(&fs, {"/exists", "/missing"}, 1000, 0);
+  ASSERT_FALSE(result.ok()) << "missing input must fail the job, not shrink it";
+}
+
+/// Combiner for ModuloMapTask output: sums values and counts records per
+/// key group, re-emitting one (key, [sum, count]) record. The matching
+/// reduce side below re-merges by summing both columns, so combined and
+/// uncombined runs mix correctly.
+class SummingCombiner : public ReduceTask {
+ public:
+  explicit SummingCombiner(ShuffleEmitter* out) : out_(out) {}
+
+  Status StartGroup(const Row& key) override {
+    key_ = key;
+    sum_ = 0;
+    count_ = 0;
+    return Status::OK();
+  }
+  Status Reduce(const Row&, const Row& value, int) override {
+    // Accepts both raw map output ([v]) and already-combined records
+    // ([sum, count]).
+    sum_ += value[0].AsInt();
+    count_ += value.size() > 1 ? value[1].AsInt() : 1;
+    return Status::OK();
+  }
+  Status EndGroup() override {
+    return out_->Emit(key_, {Value::Int(sum_), Value::Int(count_)}, 0);
+  }
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  ShuffleEmitter* out_;
+  Row key_;
+  int64_t sum_ = 0;
+  int64_t count_ = 0;
+};
+
+/// Reduce side matching SummingCombiner's protocol.
+class SummingReduceTask : public ReduceTask {
+ public:
+  SummingReduceTask(std::mutex* mutex, std::vector<GroupRecord>* sink)
+      : mutex_(mutex), sink_(sink) {}
+
+  Status StartGroup(const Row& key) override {
+    current_ = GroupRecord{key[0].AsInt()};
+    return Status::OK();
+  }
+  Status Reduce(const Row&, const Row& value, int) override {
+    current_.sum += value[0].AsInt();
+    current_.count += value.size() > 1 ? value[1].AsInt() : 1;
+    return Status::OK();
+  }
+  Status EndGroup() override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    sink_->push_back(current_);
+    return Status::OK();
+  }
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  std::mutex* mutex_;
+  std::vector<GroupRecord>* sink_;
+  GroupRecord current_{0};
+};
+
+TEST(EngineTest, CombinerPreservesOutputAndCutsShuffledBytes) {
+  // Run the identical job with and without a combiner: reduce output must
+  // match exactly, shuffled bytes must strictly drop (each map task emits
+  // ~125 records per key, which the combiner folds to 1).
+  std::map<int64_t, GroupRecord> results[2];
+  JobCounters counters[2];
+  for (int use_combiner = 0; use_combiner < 2; ++use_combiner) {
+    dfs::FileSystem fs;
+    Engine engine(&fs, EngineOptions{4, 0});
+    JobConfig job;
+    job.name = "combined-sum";
+    for (int s = 0; s < 8; ++s) {
+      job.splits.push_back({"", static_cast<uint64_t>(s) * 1000, 1000, -1, 0});
+    }
+    job.num_reducers = 3;
+    job.map_factory = [] { return std::make_unique<ModuloMapTask>(8); };
+    std::mutex mutex;
+    std::vector<GroupRecord> groups;
+    job.reduce_factory = [&](int) {
+      return std::make_unique<SummingReduceTask>(&mutex, &groups);
+    };
+    if (use_combiner) {
+      job.combiner_factory = [](ShuffleEmitter* out) {
+        return std::make_unique<SummingCombiner>(out);
+      };
+    }
+    ASSERT_TRUE(engine.RunJob(job, &counters[use_combiner]).ok());
+    for (const GroupRecord& g : groups) {
+      ASSERT_EQ(results[use_combiner].count(g.key), 0u);
+      results[use_combiner][g.key] = g;
+    }
+  }
+
+  ASSERT_EQ(results[0].size(), 8u);
+  ASSERT_EQ(results[1].size(), 8u);
+  for (const auto& [key, g] : results[0]) {
+    ASSERT_EQ(results[1].count(key), 1u);
+    EXPECT_EQ(results[1][key].sum, g.sum) << "key " << key;
+    EXPECT_EQ(results[1][key].count, g.count) << "key " << key;
+  }
+  // Map output (pre-combine) is identical; the wire traffic is not.
+  EXPECT_EQ(counters[0].map_output_records.load(),
+            counters[1].map_output_records.load());
+  EXPECT_LT(counters[1].shuffled_bytes.load(),
+            counters[0].shuffled_bytes.load());
+  EXPECT_EQ(counters[0].combine_input_records.load(), 0u);
+  EXPECT_EQ(counters[1].combine_input_records.load(), 8000u);
+  // 8 tasks x 8 keys = 64 combined records, one per (task, key).
+  EXPECT_EQ(counters[1].combine_output_records.load(), 64u);
+  EXPECT_EQ(counters[1].reduce_input_records.load(), 64u);
+}
+
+/// Map task for the merge-ordering property test: regenerates a
+/// deterministic slice of the random workload from its split offset.
+struct PropertyRecord {
+  Row key;
+  Row value;
+  int tag;
+};
+
+std::vector<PropertyRecord> MakePropertyRecords(uint64_t seed, size_t count) {
+  Random rng(seed);
+  std::vector<PropertyRecord> records;
+  records.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Row key = {Value::Int(rng.Range(0, 40)),
+               Value::String(rng.NextString(2))};
+    records.push_back({std::move(key),
+                       {Value::Int(static_cast<int64_t>(i))},
+                       static_cast<int>(rng.Uniform(3))});
+  }
+  return records;
+}
+
+class PropertyMapTask : public MapTask {
+ public:
+  Status Run(const InputSplit& split, int, ShuffleEmitter* emitter) override {
+    auto records = MakePropertyRecords(split.offset, split.length);
+    for (auto& record : records) {
+      MINIHIVE_RETURN_IF_ERROR(emitter->Emit(
+          std::move(record.key), std::move(record.value), record.tag));
+    }
+    return Status::OK();
+  }
+};
+
+/// Collects each partition's (key, tag) arrival sequence.
+struct KeyTag {
+  Row key;
+  int tag;
+};
+
+class SequenceReduceTask : public ReduceTask {
+ public:
+  SequenceReduceTask(std::mutex* mutex,
+                     std::map<int, std::vector<KeyTag>>* sink, int partition)
+      : mutex_(mutex), sink_(sink), partition_(partition) {}
+
+  Status StartGroup(const Row&) override { return Status::OK(); }
+  Status Reduce(const Row& key, const Row&, int tag) override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    (*sink_)[partition_].push_back({key, tag});
+    return Status::OK();
+  }
+  Status EndGroup() override { return Status::OK(); }
+  Status Finish() override { return Status::OK(); }
+
+ private:
+  std::mutex* mutex_;
+  std::map<int, std::vector<KeyTag>>* sink_;
+  int partition_;
+};
+
+TEST(EngineTest, KWayMergeMatchesFullSortOrdering) {
+  // Property: for random keys, mixed per-column sort directions, and tag
+  // tie-breaks, the merged stream each reducer sees must equal the old
+  // full-sort of its partition.
+  const std::vector<std::vector<bool>> directions = {
+      {}, {false}, {true, false}, {false, true}};
+  for (const std::vector<bool>& ascending : directions) {
+    const int kReducers = 3;
+    const int kSplits = 7;
+    const uint64_t kRecordsPerSplit = 200;
+
+    dfs::FileSystem fs;
+    Engine engine(&fs, EngineOptions{4, 0});
+    JobConfig job;
+    job.name = "merge-property";
+    for (int s = 0; s < kSplits; ++s) {
+      job.splits.push_back(
+          {"", static_cast<uint64_t>(s + 1) * 7919, kRecordsPerSplit, -1, 0});
+    }
+    job.num_reducers = kReducers;
+    job.sort_ascending = ascending;
+    job.map_factory = [] { return std::make_unique<PropertyMapTask>(); };
+    std::mutex mutex;
+    std::map<int, std::vector<KeyTag>> merged;
+    job.reduce_factory = [&](int partition) {
+      return std::make_unique<SequenceReduceTask>(&mutex, &merged, partition);
+    };
+    JobCounters counters;
+    ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+
+    // Reference: regenerate the workload, partition it the same way, and
+    // full-sort each partition by (key honouring direction, tag).
+    std::map<int, std::vector<KeyTag>> reference;
+    for (int s = 0; s < kSplits; ++s) {
+      auto records = MakePropertyRecords(
+          static_cast<uint64_t>(s + 1) * 7919, kRecordsPerSplit);
+      for (const auto& record : records) {
+        int partition =
+            static_cast<int>(HashRowAllCols(record.key) % kReducers);
+        reference[partition].push_back({record.key, record.tag});
+      }
+    }
+    auto less = [&ascending](const KeyTag& a, const KeyTag& b) {
+      for (size_t i = 0; i < a.key.size(); ++i) {
+        int c = a.key[i].Compare(b.key[i]);
+        if (c != 0) {
+          bool asc = i >= ascending.size() || ascending[i];
+          return asc ? c < 0 : c > 0;
+        }
+      }
+      return a.tag < b.tag;
+    };
+    for (auto& [partition, sequence] : reference) {
+      std::stable_sort(sequence.begin(), sequence.end(), less);
+    }
+
+    for (int partition = 0; partition < kReducers; ++partition) {
+      const auto& got = merged[partition];
+      const auto& want = reference[partition];
+      ASSERT_EQ(got.size(), want.size()) << "partition " << partition;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].key[0].AsInt(), want[i].key[0].AsInt())
+            << "partition " << partition << " position " << i;
+        ASSERT_EQ(got[i].key[1].AsString(), want[i].key[1].AsString())
+            << "partition " << partition << " position " << i;
+        ASSERT_EQ(got[i].tag, want[i].tag)
+            << "partition " << partition << " position " << i;
+      }
+    }
+    EXPECT_EQ(counters.reduce_input_records.load(),
+              static_cast<uint64_t>(kSplits) * kRecordsPerSplit);
+  }
 }
 
 TEST(EstimateRowBytesTest, GrowsWithContent) {

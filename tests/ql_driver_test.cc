@@ -114,6 +114,71 @@ TEST_F(DriverTest, GroupByWithHaving) {
   }
 }
 
+TEST_F(DriverTest, CombinerCutsShuffleWithIdenticalResults) {
+  // A tiny hash-flush cap forces the map-side hash GroupBy to emit many
+  // duplicate partials per key; the shuffle combiner must fold them back so
+  // shuffled_bytes strictly drops, with byte-identical query results.
+  const char* sql =
+      "SELECT o_custkey, COUNT(*) AS cnt, SUM(o_amount) AS total, "
+      "       MIN(o_id) AS lo, MAX(o_id) AS hi "
+      "FROM orders GROUP BY o_custkey";
+  auto run = [&](bool combiner) {
+    DriverOptions options;
+    options.shuffle_combiner = combiner;
+    options.map_aggr_flush_entries = 4;
+    return MustExecute(sql, options);
+  };
+  QueryResult without = run(false);
+  QueryResult with = run(true);
+
+  ASSERT_EQ(without.rows.size(), 100u);
+  ASSERT_EQ(with.rows.size(), without.rows.size());
+  auto sorted_rows = [](const QueryResult& result) {
+    std::vector<Row> rows = result.rows;
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a[0].AsInt() < b[0].AsInt();
+    });
+    return rows;
+  };
+  std::vector<Row> lhs = sorted_rows(without);
+  std::vector<Row> rhs = sorted_rows(with);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    for (size_t c = 0; c < lhs[i].size(); ++c) {
+      EXPECT_EQ(lhs[i][c].Compare(rhs[i][c]), 0)
+          << "row " << i << " col " << c;
+    }
+  }
+
+  EXPECT_LT(with.counters.shuffled_bytes.load(),
+            without.counters.shuffled_bytes.load());
+  EXPECT_GT(with.counters.combine_input_records.load(),
+            with.counters.combine_output_records.load());
+  EXPECT_EQ(without.counters.combine_input_records.load(), 0u);
+  EXPECT_NE(with.plan_text.find("--- combine ---"), std::string::npos);
+}
+
+TEST_F(DriverTest, AvgGroupByRunsWithoutCombiner) {
+  // AVG is not decomposable: the plan must not get a combiner, and still
+  // compute correct results under bounded-memory hash flushing.
+  DriverOptions options;
+  options.map_aggr_flush_entries = 4;
+  QueryResult result = MustExecute(
+      "SELECT o_custkey, AVG(o_amount) AS avg_amount, COUNT(*) AS cnt "
+      "FROM orders GROUP BY o_custkey",
+      options);
+  ASSERT_EQ(result.rows.size(), 100u);
+  EXPECT_EQ(result.plan_text.find("--- combine ---"), std::string::npos);
+  EXPECT_EQ(result.counters.combine_input_records.load(), 0u);
+  for (const Row& row : result.rows) {
+    int64_t custkey = row[0].AsInt();
+    // Customer k owns orders k, k+100, ...: amounts ((k + 100j) % 50) * 1.5.
+    double expected = 0;
+    for (int j = 0; j < 20; ++j) expected += ((custkey + 100 * j) % 50) * 1.5;
+    EXPECT_NEAR(row[1].AsDouble(), expected / 20, 1e-9) << custkey;
+    EXPECT_EQ(row[2].AsInt(), 20);
+  }
+}
+
 TEST_F(DriverTest, OrderByAndLimit) {
   QueryResult result = MustExecute(
       "SELECT o_id, o_amount FROM orders WHERE o_id < 100 "
