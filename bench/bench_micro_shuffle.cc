@@ -142,7 +142,7 @@ double TimeKWayMerge(const std::vector<std::vector<Record>>& runs,
 
 class SkewMapTask : public mr::MapTask {
  public:
-  Status Run(const mr::InputSplit& split, int,
+  Status Run(const mr::InputSplit& split, int, int,
              mr::ShuffleEmitter* emitter) override {
     Random rng(split.offset);
     for (uint64_t i = 0; i < split.length; ++i) {
@@ -197,7 +197,7 @@ mr::JobCounters RunEngineJob(bool use_combiner) {
   }
   job.num_reducers = 4;
   job.map_factory = [] { return std::make_unique<SkewMapTask>(); };
-  job.reduce_factory = [](int) {
+  job.reduce_factory = [](int, int) {
     return std::make_unique<SumCombineTask>(nullptr);
   };
   if (use_combiner) {

@@ -1,0 +1,66 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace minihive {
+
+namespace {
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time CRC-32
+/// table; table[k][b] advances a CRC whose low byte is b by k more zero
+/// bytes, enabling the slice-by-8 main loop below.
+struct Crc32Tables {
+  uint32_t t[8][256];
+
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  const Crc32Tables& tables = Tables();
+  uint32_t crc = ~seed;
+  const char* p = data.data();
+  size_t n = data.size();
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    crc ^= lo;
+    crc = tables.t[7][crc & 0xFF] ^ tables.t[6][(crc >> 8) & 0xFF] ^
+          tables.t[5][(crc >> 16) & 0xFF] ^ tables.t[4][crc >> 24] ^
+          tables.t[3][hi & 0xFF] ^ tables.t[2][(hi >> 8) & 0xFF] ^
+          tables.t[1][(hi >> 16) & 0xFF] ^ tables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n-- > 0) {
+    crc = tables.t[0][(crc ^ static_cast<uint8_t>(*p++)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace minihive

@@ -1,0 +1,17 @@
+#ifndef MINIHIVE_COMMON_CRC32_H_
+#define MINIHIVE_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace minihive {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/HDFS checksum) over `data`,
+/// slice-by-8 so checksumming stays well off the critical path relative to
+/// decode/decompress work. `seed` chains incremental computations:
+/// Crc32(a + b) == Crc32(b, Crc32(a)).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_CRC32_H_

@@ -1,0 +1,70 @@
+#include "common/fault.h"
+
+namespace minihive {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche mix of the combined state.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* SiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kOpen: return "open";
+    case FaultSite::kRead: return "read";
+    case FaultSite::kAppend: return "append";
+    case FaultSite::kClose: return "close";
+  }
+  return "?";
+}
+
+}  // namespace
+
+uint64_t FaultInjector::Draw(FaultSite site, uint64_t k) const {
+  return Mix(Mix(config_.seed ^ (static_cast<uint64_t>(site) << 56)) + k);
+}
+
+Status FaultInjector::MaybeError(FaultSite site, const std::string& path) {
+  double p = 0;
+  switch (site) {
+    case FaultSite::kOpen: p = config_.open_error_probability; break;
+    case FaultSite::kRead: p = config_.read_error_probability; break;
+    case FaultSite::kAppend: p = config_.append_error_probability; break;
+    case FaultSite::kClose: p = config_.close_error_probability; break;
+  }
+  if (p <= 0) return Status::OK();
+  if (!PathMatches(path)) return Status::OK();
+  uint64_t k = site_calls_[static_cast<int>(site)].fetch_add(1);
+  if (ToUnit(Draw(site, k)) >= p) return Status::OK();
+  switch (site) {
+    case FaultSite::kOpen: stats_.open_errors += 1; break;
+    case FaultSite::kRead: stats_.read_errors += 1; break;
+    case FaultSite::kAppend: stats_.append_errors += 1; break;
+    case FaultSite::kClose: stats_.close_errors += 1; break;
+  }
+  return Status::IoError("injected " + std::string(SiteName(site)) +
+                         " fault on " + path + " (call " + std::to_string(k) +
+                         ")");
+}
+
+void FaultInjector::MaybeFlip(const std::string& path, uint64_t offset,
+                              std::string* data) {
+  if (config_.read_flip_probability <= 0 || data->empty()) return;
+  if (!PathMatches(path)) return;
+  uint64_t k = flip_calls_.fetch_add(1);
+  uint64_t draw = Mix(Mix(config_.seed ^ 0xF11Bull) + k);
+  if (ToUnit(draw) >= config_.read_flip_probability) return;
+  // Pick the victim byte and a nonzero XOR mask from an independent draw so
+  // the flip is always a real change.
+  uint64_t where = Mix(draw + offset) % data->size();
+  uint8_t mask = static_cast<uint8_t>((Mix(draw ^ 0x5A5A) & 0xFF) | 1);
+  (*data)[where] = static_cast<char>(static_cast<uint8_t>((*data)[where]) ^
+                                     mask);
+  stats_.byte_flips += 1;
+}
+
+}  // namespace minihive

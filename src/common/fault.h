@@ -1,0 +1,95 @@
+#ifndef MINIHIVE_COMMON_FAULT_H_
+#define MINIHIVE_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace minihive {
+
+/// Filesystem call sites where faults can be injected. Mirrors the failure
+/// surface of a real HDFS client: opens, positional reads, appends, closes.
+enum class FaultSite : int {
+  kOpen = 0,
+  kRead = 1,
+  kAppend = 2,
+  kClose = 3,
+};
+inline constexpr int kNumFaultSites = 4;
+
+/// Per-site injection probabilities. All default to 0 (no injection).
+/// `read_flip_probability` corrupts the bytes a read returns instead of
+/// failing the call — the "disk silently lied" failure mode that checksums
+/// must catch.
+struct FaultConfig {
+  uint64_t seed = 0;
+  double open_error_probability = 0;
+  double read_error_probability = 0;
+  double read_flip_probability = 0;
+  double append_error_probability = 0;
+  double close_error_probability = 0;
+  /// When non-empty, faults are only injected on paths containing this
+  /// substring (target one table, one temp dir, ...).
+  std::string path_filter;
+};
+
+/// Counts of injected faults, so tests can assert injection actually fired.
+struct FaultStats {
+  std::atomic<uint64_t> open_errors{0};
+  std::atomic<uint64_t> read_errors{0};
+  std::atomic<uint64_t> byte_flips{0};
+  std::atomic<uint64_t> append_errors{0};
+  std::atomic<uint64_t> close_errors{0};
+
+  uint64_t total() const {
+    return open_errors.load() + read_errors.load() + byte_flips.load() +
+           append_errors.load() + close_errors.load();
+  }
+};
+
+/// Seed-deterministic fault injector. Each site keeps its own call counter;
+/// the decision for the k-th call at a site is a pure function of
+/// (seed, site, k), so a given seed reproduces the same fault pattern for
+/// the same sequence of filesystem operations. Thread-safe: counters are
+/// atomic, decisions are stateless hashes.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(std::move(config)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Returns an injected IoError for this call, or OK to let it proceed.
+  Status MaybeError(FaultSite site, const std::string& path);
+
+  /// Possibly flips one byte of `data` (a read result starting at `offset`
+  /// within `path`). No-op on empty data.
+  void MaybeFlip(const std::string& path, uint64_t offset, std::string* data);
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  bool PathMatches(const std::string& path) const {
+    return config_.path_filter.empty() ||
+           path.find(config_.path_filter) != std::string::npos;
+  }
+
+  /// Deterministic 64-bit draw for the k-th decision at `site`.
+  uint64_t Draw(FaultSite site, uint64_t k) const;
+  /// Uniform [0,1) from a draw.
+  static double ToUnit(uint64_t draw) {
+    return static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  FaultConfig config_;
+  FaultStats stats_;
+  std::atomic<uint64_t> site_calls_[kNumFaultSites] = {};
+  std::atomic<uint64_t> flip_calls_{0};
+};
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_FAULT_H_

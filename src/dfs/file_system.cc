@@ -8,12 +8,19 @@ namespace {
 
 class WritableFileImpl : public WritableFile {
  public:
-  WritableFileImpl(FileSystem* fs, std::shared_ptr<FileSystem::FileData> data,
+  WritableFileImpl(FileSystem* fs, std::string path,
+                   std::shared_ptr<FileSystem::FileData> data,
                    uint64_t block_size)
-      : fs_(fs), data_(std::move(data)), block_size_(block_size) {}
+      : fs_(fs),
+        path_(std::move(path)),
+        data_(std::move(data)),
+        block_size_(block_size) {}
 
   Status Append(std::string_view bytes) override {
     if (closed_) return Status::IoError("append to closed file");
+    if (FaultInjector* faults = fs_->fault_injector()) {
+      MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kAppend, path_));
+    }
     data_->contents.append(bytes.data(), bytes.size());
     fs_->stats().bytes_written += bytes.size();
     return Status::OK();
@@ -37,6 +44,9 @@ class WritableFileImpl : public WritableFile {
   }
 
   Status Close() override {
+    if (FaultInjector* faults = fs_->fault_injector()) {
+      MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kClose, path_));
+    }
     closed_ = true;
     data_->closed = true;
     return Status::OK();
@@ -44,6 +54,7 @@ class WritableFileImpl : public WritableFile {
 
  private:
   FileSystem* fs_;
+  std::string path_;
   std::shared_ptr<FileSystem::FileData> data_;
   uint64_t block_size_;
   bool closed_ = false;
@@ -51,9 +62,13 @@ class WritableFileImpl : public WritableFile {
 
 class ReadableFileImpl : public ReadableFile {
  public:
-  ReadableFileImpl(FileSystem* fs, std::shared_ptr<const FileSystem::FileData> data,
+  ReadableFileImpl(FileSystem* fs, std::string path,
+                   std::shared_ptr<const FileSystem::FileData> data,
                    uint64_t block_size)
-      : fs_(fs), data_(std::move(data)), block_size_(block_size) {}
+      : fs_(fs),
+        path_(std::move(path)),
+        data_(std::move(data)),
+        block_size_(block_size) {}
 
   uint64_t Size() const override { return data_->contents.size(); }
 
@@ -63,7 +78,13 @@ class ReadableFileImpl : public ReadableFile {
         length > data_->contents.size() - offset) {
       return Status::OutOfRange("read past end of file");
     }
+    if (FaultInjector* faults = fs_->fault_injector()) {
+      MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kRead, path_));
+    }
     out->assign(data_->contents, offset, length);
+    if (FaultInjector* faults = fs_->fault_injector()) {
+      faults->MaybeFlip(path_, offset, out);
+    }
     IoStats& stats = fs_->stats();
     stats.bytes_read += length;
     stats.read_ops += 1;
@@ -107,6 +128,7 @@ class ReadableFileImpl : public ReadableFile {
 
  private:
   FileSystem* fs_;
+  std::string path_;
   std::shared_ptr<const FileSystem::FileData> data_;
   uint64_t block_size_;
 };
@@ -138,10 +160,13 @@ Result<std::unique_ptr<WritableFile>> FileSystem::Create(
   // Lazily fill block placement on close is unnecessary: blocks are placed
   // deterministically by index, so precomputation is not needed until Open().
   return std::unique_ptr<WritableFile>(
-      new WritableFileImpl(this, data, options_.block_size));
+      new WritableFileImpl(this, path, data, options_.block_size));
 }
 
 Result<std::shared_ptr<ReadableFile>> FileSystem::Open(const std::string& path) {
+  if (FaultInjector* faults = fault_injector()) {
+    MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kOpen, path));
+  }
   std::shared_ptr<FileData> data;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -159,12 +184,25 @@ Result<std::shared_ptr<ReadableFile>> FileSystem::Open(const std::string& path) 
     }
   }
   return std::shared_ptr<ReadableFile>(
-      new ReadableFileImpl(this, data, options_.block_size));
+      new ReadableFileImpl(this, path, data, options_.block_size));
 }
 
 Status FileSystem::Delete(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+Status FileSystem::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  if (!it->second->closed) {
+    return Status::IoError("rename of file still open for write: " + from);
+  }
+  if (files_.count(to) > 0) return Status::AlreadyExists("file exists: " + to);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
   return Status::OK();
 }
 

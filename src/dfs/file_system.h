@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -100,6 +101,9 @@ class FileSystem {
   Result<std::shared_ptr<ReadableFile>> Open(const std::string& path);
 
   Status Delete(const std::string& path);
+  /// Atomically renames a closed file (task output promotion). Fails with
+  /// NotFound if `from` is missing and AlreadyExists if `to` exists.
+  Status Rename(const std::string& from, const std::string& to);
   bool Exists(const std::string& path) const;
   Result<uint64_t> FileSize(const std::string& path) const;
   /// All paths with the given prefix, sorted.
@@ -110,6 +114,17 @@ class FileSystem {
   IoStats& stats() { return stats_; }
   const FileSystemOptions& options() const { return options_; }
   uint64_t block_size() const { return options_.block_size; }
+
+  /// Installs (or clears, with nullptr) a fault injector consulted on every
+  /// Open/ReadAt/Append/Close. The injector is not owned and must outlive
+  /// its installation. nullptr (the default) keeps injection entirely off
+  /// the hot path — a single pointer test per call.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
 
   // Implementation detail, public only so the file implementations in the
   // .cc can refer to it.
@@ -127,6 +142,7 @@ class FileSystem {
 
   FileSystemOptions options_;
   IoStats stats_;
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<FileData>> files_;
 };

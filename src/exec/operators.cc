@@ -7,6 +7,18 @@
 
 namespace minihive::exec {
 
+std::string FinalPartName(const std::string& prefix,
+                          const std::string& task_suffix) {
+  return prefix + "/part-" + task_suffix;
+}
+
+std::string AttemptPartName(const std::string& prefix,
+                            const std::string& task_suffix, int attempt) {
+  // The "_attempt" prefix sorts before "part-" and is deleted on abort, so
+  // consumers listing `prefix + "/part-"` only ever see committed output.
+  return prefix + "/_attempt-" + std::to_string(attempt) + "-" + task_suffix;
+}
+
 std::string SerializeKey(const Row& key) {
   std::string out;
   for (const Value& v : key) {
@@ -504,8 +516,8 @@ class FileSinkOperator : public Operator {
           formats::GetFileFormat(desc_->sink_format);
       formats::WriterOptions options;
       options.compression = desc_->sink_compression;
-      std::string path =
-          desc_->sink_path_prefix + "/part-" + ctx_->task_suffix;
+      std::string path = AttemptPartName(desc_->sink_path_prefix,
+                                         ctx_->task_suffix, ctx_->attempt);
       MINIHIVE_ASSIGN_OR_RETURN(
           writer_, format->CreateWriter(ctx_->fs, path, desc_->sink_schema,
                                         options));

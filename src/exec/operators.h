@@ -25,11 +25,22 @@ using MapJoinTables = std::vector<std::shared_ptr<MapJoinHashTable>>;
 /// aggregation table keys (NULL-safe and type-tagged).
 std::string SerializeKey(const Row& key);
 
+/// Names a task's committed sink output under a sink path prefix.
+std::string FinalPartName(const std::string& prefix,
+                          const std::string& task_suffix);
+/// Names the attempt-scoped file a task attempt writes. The engine's commit
+/// hook renames it to FinalPartName on success; its abort hook deletes it on
+/// failure, so partial output from a failed attempt is never visible.
+std::string AttemptPartName(const std::string& prefix,
+                            const std::string& task_suffix, int attempt);
+
 /// Per-task runtime context handed to every operator at Init.
 struct TaskContext {
   dfs::FileSystem* fs = nullptr;
   /// Unique suffix for output files ("m-3", "r-0", ...).
   std::string task_suffix;
+  /// 0-based task attempt; sink outputs are scoped by it.
+  int attempt = 0;
   /// Shuffle emitter (map tasks of jobs with reducers).
   mr::ShuffleEmitter* emitter = nullptr;
   /// Pre-built map-join tables, keyed by MapJoin OpDesc id. Built once per

@@ -1,6 +1,7 @@
 #include "formats/seqfile.h"
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "serde/serde.h"
 
 namespace minihive::formats {
@@ -53,6 +54,9 @@ class SeqFileWriter : public FileWriter {
       MINIHIVE_RETURN_IF_ERROR(serde_.Serialize(row, &record_));
     }
     PutVarint64(&buffer_, record_.size());
+    // Per-record checksum: a flipped byte in a variant-coded payload can
+    // decode to a plausible wrong value, so readers must be able to tell.
+    PutFixed32(&buffer_, Crc32(record_));
     buffer_.append(record_);
     if (buffer_.size() >= kWriteBufferSize) return Flush();
     return Status::OK();
@@ -87,12 +91,11 @@ class SeqFileWriter : public FileWriter {
 class SeqFileReader : public RowReader {
  public:
   SeqFileReader(std::shared_ptr<dfs::ReadableFile> file, TypePtr schema,
-                std::string sync_marker, const ReadOptions& options)
+                const ReadOptions& options)
       : file_(std::move(file)),
         schema_(schema),
         serde_(schema == nullptr ? TypeDescription::CreateStruct()
                                  : std::move(schema)),
-        sync_marker_(std::move(sync_marker)),
         projected_(options.projected_columns),
         reader_host_(options.reader_host) {
     uint64_t file_size = file_->Size();
@@ -131,8 +134,14 @@ class SeqFileReader : public RowReader {
         MINIHIVE_RETURN_IF_ERROR(SkipBytes(kSyncMarkerLen));
         continue;
       }
+      uint32_t expected_crc;
+      MINIHIVE_RETURN_IF_ERROR(ReadFixed32(&expected_crc));
       std::string record;
       MINIHIVE_RETURN_IF_ERROR(ReadBytes(record_len, &record));
+      if (Crc32(record) != expected_crc) {
+        return Status::Corruption("sequence file record checksum mismatch at " +
+                                  std::to_string(Position() - record_len));
+      }
       if (schema_ == nullptr) {
         MINIHIVE_RETURN_IF_ERROR(serde::VariantDecodeRow(record, row));
       } else {
@@ -144,6 +153,24 @@ class SeqFileReader : public RowReader {
 
  private:
   Status Initialize() {
+    // The sync marker comes from the file header — never re-derived from the
+    // path — so a file renamed after writing (attempt-output promotion) still
+    // scans correctly.
+    uint64_t file_size = file_->Size();
+    if (file_size == 0) {
+      done_ = true;
+      return Status::OK();
+    }
+    if (file_size < kMagicLen + kSyncMarkerLen) {
+      return Status::Corruption("sequence file smaller than header");
+    }
+    std::string header;
+    MINIHIVE_RETURN_IF_ERROR(
+        file_->ReadAt(0, kMagicLen + kSyncMarkerLen, &header, reader_host_));
+    if (header.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+      return Status::Corruption("bad sequence file magic");
+    }
+    sync_marker_ = header.substr(kMagicLen, kSyncMarkerLen);
     if (skip_header_) {
       MINIHIVE_RETURN_IF_ERROR(SkipBytes(kMagicLen + kSyncMarkerLen));
       return Status::OK();
@@ -227,6 +254,14 @@ class SeqFileReader : public RowReader {
     return Status::OK();
   }
 
+  Status ReadFixed32(uint32_t* value) {
+    MINIHIVE_RETURN_IF_ERROR(EnsureBytes(4));
+    ByteReader reader(std::string_view(chunk_).substr(chunk_pos_, 4));
+    MINIHIVE_RETURN_IF_ERROR(reader.GetFixed32(value));
+    chunk_pos_ += 4;
+    return Status::OK();
+  }
+
   Status SkipBytes(size_t n) {
     MINIHIVE_RETURN_IF_ERROR(EnsureBytes(n));
     chunk_pos_ += n;
@@ -267,8 +302,8 @@ Result<std::unique_ptr<RowReader>> SequenceFileFormat::OpenReader(
     const ReadOptions& options) const {
   MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<dfs::ReadableFile> file,
                             fs->Open(path));
-  return std::unique_ptr<RowReader>(new SeqFileReader(
-      std::move(file), std::move(schema), MakeSyncMarker(path), options));
+  return std::unique_ptr<RowReader>(
+      new SeqFileReader(std::move(file), std::move(schema), options));
 }
 
 }  // namespace minihive::formats

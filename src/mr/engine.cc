@@ -193,20 +193,45 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   // sort work happens where it is cheap and parallel.
   Stopwatch map_watch;
   int num_partitions = std::max(job.num_reducers, 1);
+  const int max_attempts = std::max(1, job.max_task_attempts);
   std::vector<std::unique_ptr<PartitionedEmitter>> emitters(job.splits.size());
   Status status = RunParallel(
       static_cast<int>(job.splits.size()), options_.num_workers,
       [&](int index) -> Status {
         ThreadCpuTimer cpu;
-        auto emitter =
-            std::make_unique<PartitionedEmitter>(num_partitions, counters);
-        std::unique_ptr<MapTask> task = job.map_factory();
-        Status s = task->Run(job.splits[index], index, emitter.get());
-        if (s.ok() && job.num_reducers > 0) {
-          s = SortAndCombineRuns(emitter.get(), job, counters);
+        Status s;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          Stopwatch attempt_watch;
+          // Attempt-local counters, merged only on success: a retried
+          // attempt must never double-count records.
+          JobCounters local;
+          auto emitter =
+              std::make_unique<PartitionedEmitter>(num_partitions, &local);
+          std::unique_ptr<MapTask> task = job.map_factory();
+          s = task->Run(job.splits[index], index, attempt, emitter.get());
+          if (s.ok() && job.num_reducers > 0) {
+            s = SortAndCombineRuns(emitter.get(), job, &local);
+          }
+          if (s.ok() && job.commit_task) {
+            s = job.commit_task(TaskKind::kMap, index, attempt);
+          }
+          if (s.ok()) {
+            local.AccumulateTaskLocalInto(counters);
+            emitters[index] = std::move(emitter);
+            break;
+          }
+          counters->map_task_failures += 1;
+          counters->retried_task_nanos +=
+              static_cast<int64_t>(attempt_watch.ElapsedMillis() * 1e6);
+          if (job.abort_task) job.abort_task(TaskKind::kMap, index, attempt);
         }
-        emitters[index] = std::move(emitter);
         counters->cpu_nanos += cpu.ElapsedNanos();
+        if (!s.ok()) {
+          return Status(s.code(),
+                        "map task " + std::to_string(index) +
+                            " failed after " + std::to_string(max_attempts) +
+                            " attempts: " + s.message());
+        }
         return s;
       });
   MINIHIVE_RETURN_IF_ERROR(status);
@@ -240,42 +265,68 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
           if (less(a.record(), b.record())) return false;
           return b.run_index < a.run_index;
         };
-        std::vector<RunCursor> heap;
-        heap.reserve(emitters.size());
-        size_t total = 0;
-        for (size_t m = 0; m < emitters.size(); ++m) {
-          if (!emitters[m]) continue;
-          const auto& run = emitters[m]->partitions()[partition];
-          if (run.empty()) continue;
-          total += run.size();
-          heap.push_back({&run, 0, static_cast<int>(m)});
-        }
-        std::make_heap(heap.begin(), heap.end(), after);
-        counters->reduce_input_records += total;
-
-        std::unique_ptr<ReduceTask> task = job.reduce_factory(partition);
-        auto next = [&]() -> const ShuffleRecord* {
-          if (heap.empty()) return nullptr;
-          std::pop_heap(heap.begin(), heap.end(), after);
-          RunCursor& cursor = heap.back();
-          const ShuffleRecord* record = &cursor.record();
-          if (++cursor.pos < cursor.run->size()) {
-            std::push_heap(heap.begin(), heap.end(), after);
-          } else {
-            heap.pop_back();
+        Status s;
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          Stopwatch attempt_watch;
+          JobCounters local;
+          std::vector<RunCursor> heap;
+          heap.reserve(emitters.size());
+          size_t total = 0;
+          for (size_t m = 0; m < emitters.size(); ++m) {
+            if (!emitters[m]) continue;
+            const auto& run = emitters[m]->partitions()[partition];
+            if (run.empty()) continue;
+            total += run.size();
+            heap.push_back({&run, 0, static_cast<int>(m)});
           }
-          return record;
-        };
-        Status s = DriveGroups(task.get(), next);
-        // Release this partition's runs; the job may hold many partitions.
-        for (const auto& emitter : emitters) {
-          if (emitter) {
-            auto& run = emitter->partitions()[partition];
-            run.clear();
-            run.shrink_to_fit();
+          std::make_heap(heap.begin(), heap.end(), after);
+          local.reduce_input_records += total;
+
+          std::unique_ptr<ReduceTask> task =
+              job.reduce_factory(partition, attempt);
+          auto next = [&]() -> const ShuffleRecord* {
+            if (heap.empty()) return nullptr;
+            std::pop_heap(heap.begin(), heap.end(), after);
+            RunCursor& cursor = heap.back();
+            const ShuffleRecord* record = &cursor.record();
+            if (++cursor.pos < cursor.run->size()) {
+              std::push_heap(heap.begin(), heap.end(), after);
+            } else {
+              heap.pop_back();
+            }
+            return record;
+          };
+          s = DriveGroups(task.get(), next);
+          if (s.ok() && job.commit_task) {
+            s = job.commit_task(TaskKind::kReduce, partition, attempt);
+          }
+          if (s.ok()) {
+            local.AccumulateTaskLocalInto(counters);
+            // Release this partition's runs only after a successful attempt
+            // (a retry merges them again); the job may hold many partitions.
+            for (const auto& emitter : emitters) {
+              if (emitter) {
+                auto& run = emitter->partitions()[partition];
+                run.clear();
+                run.shrink_to_fit();
+              }
+            }
+            break;
+          }
+          counters->reduce_task_failures += 1;
+          counters->retried_task_nanos +=
+              static_cast<int64_t>(attempt_watch.ElapsedMillis() * 1e6);
+          if (job.abort_task) {
+            job.abort_task(TaskKind::kReduce, partition, attempt);
           }
         }
         counters->cpu_nanos += cpu.ElapsedNanos();
+        if (!s.ok()) {
+          return Status(s.code(),
+                        "reduce task " + std::to_string(partition) +
+                            " failed after " + std::to_string(max_attempts) +
+                            " attempts: " + s.message());
+        }
         return s;
       });
   MINIHIVE_RETURN_IF_ERROR(status);

@@ -45,6 +45,12 @@ struct JobCounters {
   /// combine), summed over tasks; runs in parallel, so it can exceed
   /// map_phase_millis.
   std::atomic<int64_t> shuffle_sort_nanos{0};
+  /// Failed task attempts (each retried attempt counts once). A job that
+  /// succeeds with nonzero failures recovered via retries.
+  std::atomic<uint64_t> map_task_failures{0};
+  std::atomic<uint64_t> reduce_task_failures{0};
+  /// Wall time burnt in failed attempts (the retry tax), summed over tasks.
+  std::atomic<int64_t> retried_task_nanos{0};
   int map_tasks = 0;
   int reduce_tasks = 0;
   double map_phase_millis = 0;
@@ -63,6 +69,9 @@ struct JobCounters {
     combine_output_records = other.combine_output_records.load();
     cpu_nanos = other.cpu_nanos.load();
     shuffle_sort_nanos = other.shuffle_sort_nanos.load();
+    map_task_failures = other.map_task_failures.load();
+    reduce_task_failures = other.reduce_task_failures.load();
+    retried_task_nanos = other.retried_task_nanos.load();
     map_tasks = other.map_tasks;
     reduce_tasks = other.reduce_tasks;
     map_phase_millis = other.map_phase_millis;
@@ -72,8 +81,12 @@ struct JobCounters {
 
   double cpu_millis() const { return cpu_nanos.load() / 1e6; }
   double shuffle_sort_millis() const { return shuffle_sort_nanos.load() / 1e6; }
+  double retried_task_millis() const { return retried_task_nanos.load() / 1e6; }
 
-  void AccumulateInto(JobCounters* total) const {
+  /// Merges the record/byte/time counters (all atomic) into `total`.
+  /// Thread-safe: this is how a successful task attempt publishes its
+  /// attempt-local counters from a worker thread.
+  void AccumulateTaskLocalInto(JobCounters* total) const {
     total->map_input_records += map_input_records.load();
     total->map_output_records += map_output_records.load();
     total->reduce_input_records += reduce_input_records.load();
@@ -82,6 +95,15 @@ struct JobCounters {
     total->combine_output_records += combine_output_records.load();
     total->cpu_nanos += cpu_nanos.load();
     total->shuffle_sort_nanos += shuffle_sort_nanos.load();
+    total->map_task_failures += map_task_failures.load();
+    total->reduce_task_failures += reduce_task_failures.load();
+    total->retried_task_nanos += retried_task_nanos.load();
+  }
+
+  /// Full merge including the coordinator-owned scalar fields (task counts,
+  /// phase times). NOT thread-safe; single-threaded aggregation only.
+  void AccumulateInto(JobCounters* total) const {
+    AccumulateTaskLocalInto(total);
     total->map_tasks += map_tasks;
     total->reduce_tasks += reduce_tasks;
     total->map_phase_millis += map_phase_millis;
@@ -102,8 +124,11 @@ class ShuffleEmitter {
 class MapTask {
  public:
   virtual ~MapTask() = default;
-  /// `task_index` is the map task number (used e.g. for output file names).
-  virtual Status Run(const InputSplit& split, int task_index,
+  /// `task_index` is the map task number (used e.g. for output file names);
+  /// `attempt` is the 0-based retry attempt. Any output a task writes must
+  /// be attempt-scoped: the engine promotes it (via JobConfig::commit_task)
+  /// only when the attempt succeeds.
+  virtual Status Run(const InputSplit& split, int task_index, int attempt,
                      ShuffleEmitter* emitter) = 0;
 };
 
@@ -122,8 +147,10 @@ class ReduceTask {
 };
 
 using MapTaskFactory = std::function<std::unique_ptr<MapTask>()>;
-/// Invoked once per reduce task with its partition index.
-using ReduceTaskFactory = std::function<std::unique_ptr<ReduceTask>(int)>;
+/// Invoked once per reduce task attempt with the partition index and the
+/// 0-based attempt number.
+using ReduceTaskFactory =
+    std::function<std::unique_ptr<ReduceTask>(int partition, int attempt)>;
 /// Builds a map-side combiner: a ReduceTask driven over one sorted run
 /// (StartGroup/Reduce/EndGroup/Finish) whose output — written through the
 /// given emitter — replaces that run in the shuffle. A combiner must emit
@@ -133,6 +160,17 @@ using ReduceTaskFactory = std::function<std::unique_ptr<ReduceTask>(int)>;
 /// (Hadoop's "combiner may run zero or more times" contract).
 using CombinerFactory =
     std::function<std::unique_ptr<ReduceTask>(ShuffleEmitter* out)>;
+
+enum class TaskKind { kMap, kReduce };
+
+/// Promotes a successful attempt's output to its final location (rename
+/// attempt-scoped files). A commit failure fails the attempt, which may
+/// then be retried.
+using TaskCommitFn = std::function<Status(TaskKind, int task_index,
+                                          int attempt)>;
+/// Discards a failed attempt's partial output. Best-effort: errors are
+/// swallowed (a later attempt writes under a different attempt id anyway).
+using TaskAbortFn = std::function<void(TaskKind, int task_index, int attempt)>;
 
 struct JobConfig {
   std::string name;
@@ -145,6 +183,12 @@ struct JobConfig {
   CombinerFactory combiner_factory;
   /// Shuffle sort direction per key column (empty = all ascending).
   std::vector<bool> sort_ascending;
+  /// Maximum attempts per task (Hadoop's mapred.map.max.attempts). The job
+  /// fails with the last attempt's error once a task exhausts its attempts.
+  int max_task_attempts = 4;
+  /// Output promotion hooks (both optional).
+  TaskCommitFn commit_task;
+  TaskAbortFn abort_task;
 };
 
 struct EngineOptions {

@@ -8,6 +8,7 @@ void StripeFooter::Serialize(std::string* out) const {
     PutVarint64(out, s.column);
     out->push_back(static_cast<char>(s.kind));
     PutVarint64(out, s.length);
+    PutFixed32(out, s.crc);
   }
   PutVarint64(out, encodings.size());
   for (size_t c = 0; c < encodings.size(); ++c) {
@@ -37,6 +38,7 @@ Status StripeFooter::Deserialize(std::string_view data, StripeFooter* footer) {
     MINIHIVE_RETURN_IF_ERROR(reader.GetByte(&kind));
     s.kind = static_cast<StreamKind>(kind);
     MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&s.length));
+    MINIHIVE_RETURN_IF_ERROR(reader.GetFixed32(&s.crc));
   }
   uint64_t num_columns;
   MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&num_columns));
@@ -78,6 +80,13 @@ void StripeIndex::Serialize(std::string* out) const {
       prev = end;
     }
   }
+  PutVarint64(out, segment_crcs.size());
+  for (const std::vector<uint32_t>& crcs : segment_crcs) {
+    PutVarint64(out, crcs.size());
+    for (uint32_t crc : crcs) {
+      PutFixed32(out, crc);
+    }
+  }
   PutVarint64(out, group_stats.size());
   for (const std::vector<ColumnStatistics>& column : group_stats) {
     PutVarint64(out, column.size());
@@ -105,6 +114,17 @@ Status StripeIndex::Deserialize(std::string_view data, StripeIndex* index) {
       ends[i] = prev;
     }
   }
+  uint64_t num_crc_streams;
+  MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&num_crc_streams));
+  index->segment_crcs.resize(num_crc_streams);
+  for (std::vector<uint32_t>& crcs : index->segment_crcs) {
+    uint64_t n;
+    MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&n));
+    crcs.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      MINIHIVE_RETURN_IF_ERROR(reader.GetFixed32(&crcs[i]));
+    }
+  }
   uint64_t num_columns;
   MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&num_columns));
   index->group_stats.resize(num_columns);
@@ -130,6 +150,8 @@ void SerializeFileFooter(const FileTail& tail, std::string* out) {
     PutVarint64(out, stripe.data_length);
     PutVarint64(out, stripe.footer_length);
     PutVarint64(out, stripe.num_rows);
+    PutFixed32(out, stripe.index_crc);
+    PutFixed32(out, stripe.footer_crc);
   }
   PutVarint64(out, tail.file_stats.size());
   for (const ColumnStatistics& stats : tail.file_stats) {
@@ -153,6 +175,8 @@ Status DeserializeFileFooter(std::string_view data, FileTail* tail) {
     MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&stripe.data_length));
     MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&stripe.footer_length));
     MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&stripe.num_rows));
+    MINIHIVE_RETURN_IF_ERROR(reader.GetFixed32(&stripe.index_crc));
+    MINIHIVE_RETURN_IF_ERROR(reader.GetFixed32(&stripe.footer_crc));
   }
   uint64_t num_columns;
   MINIHIVE_RETURN_IF_ERROR(reader.GetVarint64(&num_columns));

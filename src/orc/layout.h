@@ -51,6 +51,10 @@ struct StreamInfo {
   uint32_t column = 0;  // Column id in the file schema's column tree.
   StreamKind kind = StreamKind::kData;
   uint64_t length = 0;  // On-disk (compressed) bytes.
+  /// CRC-32 of the stream's on-disk bytes; verified by readers that fetch
+  /// the whole stream so corruption surfaces as a typed Status, never as
+  /// silently wrong rows.
+  uint32_t crc = 0;
 };
 
 /// Stripe footer: stream directory, column encodings, and per-column
@@ -76,6 +80,10 @@ struct StripeFooter {
 struct StripeIndex {
   // segment_ends[stream_index][group]; stripe-scoped streams have 1 entry.
   std::vector<std::vector<uint64_t>> segment_ends;
+  // segment_crcs[stream_index][group]: CRC-32 of each on-disk segment, same
+  // shape as segment_ends. PPD readers fetch individual segments and can't
+  // use the whole-stream CRC, so corruption detection needs this granularity.
+  std::vector<std::vector<uint32_t>> segment_crcs;
   // group_stats[column][group]
   std::vector<std::vector<ColumnStatistics>> group_stats;
 
@@ -89,6 +97,11 @@ struct StripeInformation {
   uint64_t data_length = 0;
   uint64_t footer_length = 0;
   uint64_t num_rows = 0;
+  /// CRC-32 of the stripe's index and footer sections as stored on disk.
+  /// The data section is covered per stream / per segment instead, since
+  /// readers rarely fetch it whole.
+  uint32_t index_crc = 0;
+  uint32_t footer_crc = 0;
 };
 
 /// Everything read from the end of an ORC file at open time.
@@ -104,6 +117,10 @@ struct FileTail {
   /// Total bytes of the tail (metadata + footer + postscript + length byte),
   /// i.e. the fixed open-time read cost.
   uint64_t tail_length = 0;
+  /// CRC-32 of the footer and metadata sections as stored on disk, recorded
+  /// in the (uncompressed, self-checking) postscript.
+  uint32_t footer_crc = 0;
+  uint32_t metadata_crc = 0;
 };
 
 /// Serializes the footer & metadata sections (pre-compression bytes).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/crc32.h"
 #include "orc/stream_encoding.h"
 
 namespace minihive::orc {
@@ -15,6 +16,17 @@ struct GroupRun {
   uint32_t last;
 };
 
+Status VerifyCrc(std::string_view stored, uint32_t expected,
+                 const char* what) {
+  uint32_t actual = Crc32(stored);
+  if (actual != expected) {
+    return Status::Corruption(std::string("ORC checksum mismatch in ") + what +
+                              ": stored crc " + std::to_string(expected) +
+                              ", computed " + std::to_string(actual));
+  }
+  return Status::OK();
+}
+
 /// Reads one stream of one stripe. Two modes:
 ///  - full: the entire stream is fetched and decompressed at init; groups
 ///    are decoded strictly in order with persistent decoders (no index data
@@ -26,13 +38,17 @@ struct GroupRun {
 class StreamReader {
  public:
   Status InitFull(dfs::ReadableFile* file, uint64_t file_start,
-                  uint64_t length, const codec::Codec* codec, int host) {
+                  uint64_t length, const codec::Codec* codec, int host,
+                  uint32_t expected_crc, bool verify) {
     full_mode_ = true;
     file_start_ = file_start;
     codec_ = codec;
     std::string stored;
     if (length > 0) {
       MINIHIVE_RETURN_IF_ERROR(file->ReadAt(file_start, length, &stored, host));
+    }
+    if (verify) {
+      MINIHIVE_RETURN_IF_ERROR(VerifyCrc(stored, expected_crc, "stream"));
     }
     raw_.clear();
     MINIHIVE_RETURN_IF_ERROR(codec::DecompressUnits(codec, stored, &raw_));
@@ -42,15 +58,18 @@ class StreamReader {
 
   void InitPpd(dfs::ReadableFile* file, uint64_t file_start,
                const std::vector<uint64_t>* segment_ends,
+               const std::vector<uint32_t>* segment_crcs,
                const std::vector<GroupRun>* runs, const codec::Codec* codec,
-               int host) {
+               int host, bool verify) {
     full_mode_ = false;
     file_ = file;
     file_start_ = file_start;
     seg_ends_ = segment_ends;
+    seg_crcs_ = segment_crcs;
     runs_ = runs;
     codec_ = codec;
     host_ = host;
+    verify_ = verify;
     run_valid_ = false;
   }
 
@@ -69,6 +88,10 @@ class StreamReader {
     std::string_view slice =
         std::string_view(run_buf_)
             .substr(seg_start - run_base_, seg_end - seg_start);
+    if (verify_ && seg_crcs_ != nullptr && g < seg_crcs_->size()) {
+      MINIHIVE_RETURN_IF_ERROR(
+          VerifyCrc(slice, (*seg_crcs_)[g], "stream segment"));
+    }
     raw_.clear();
     MINIHIVE_RETURN_IF_ERROR(codec::DecompressUnits(codec_, slice, &raw_));
     ResetDecoders();
@@ -157,7 +180,9 @@ class StreamReader {
   const codec::Codec* codec_ = nullptr;
   int host_ = -1;
   const std::vector<uint64_t>* seg_ends_ = nullptr;
+  const std::vector<uint32_t>* seg_crcs_ = nullptr;
   const std::vector<GroupRun>* runs_ = nullptr;
+  bool verify_ = false;
 
   std::string raw_;
   size_t raw_cursor_ = 0;
@@ -346,12 +371,21 @@ class OrcReader::Impl {
     tail_.compression = static_cast<codec::CompressionKind>(codec_byte);
     MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.compression_unit));
     MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.row_index_stride));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail_.footer_crc));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail_.metadata_crc));
     std::string_view magic;
     MINIHIVE_RETURN_IF_ERROR(ps.GetBytes(kOrcMagicLen, &magic));
     if (magic != std::string_view(kOrcMagic, kOrcMagicLen)) {
       return Status::Corruption("bad ORC postscript magic");
     }
     codec_ = codec::GetCodec(tail_.compression);
+    // Guard each section length separately before summing: a corrupt varint
+    // can be near 2^64, where the summed tail length would wrap around and
+    // pass a naive `tail_length > size` check.
+    if (footer_len > size || metadata_len > size ||
+        footer_len + metadata_len > size) {
+      return Status::Corruption("bad tail section length");
+    }
     tail_.tail_length = 1 + ps_len + footer_len + metadata_len;
     if (tail_.tail_length > size) return Status::Corruption("bad tail length");
 
@@ -360,6 +394,10 @@ class OrcReader::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(footer_off, footer_len,
                                            &footer_stored,
                                            options_.reader_host));
+    if (options_.verify_checksums) {
+      MINIHIVE_RETURN_IF_ERROR(
+          VerifyCrc(footer_stored, tail_.footer_crc, "file footer"));
+    }
     std::string footer_raw;
     MINIHIVE_RETURN_IF_ERROR(
         codec::DecompressUnits(codec_, footer_stored, &footer_raw));
@@ -370,6 +408,10 @@ class OrcReader::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(metadata_off, metadata_len,
                                            &metadata_stored,
                                            options_.reader_host));
+    if (options_.verify_checksums) {
+      MINIHIVE_RETURN_IF_ERROR(
+          VerifyCrc(metadata_stored, tail_.metadata_crc, "file metadata"));
+    }
     std::string metadata_raw;
     MINIHIVE_RETURN_IF_ERROR(
         codec::DecompressUnits(codec_, metadata_stored, &metadata_raw));
@@ -418,6 +460,10 @@ class OrcReader::Impl {
         file_->ReadAt(info.offset + info.index_length + info.data_length,
                       info.footer_length, &footer_stored,
                       options_.reader_host));
+    if (options_.verify_checksums) {
+      MINIHIVE_RETURN_IF_ERROR(
+          VerifyCrc(footer_stored, info.footer_crc, "stripe footer"));
+    }
     std::string footer_raw;
     MINIHIVE_RETURN_IF_ERROR(
         codec::DecompressUnits(codec_, footer_stored, &footer_raw));
@@ -437,6 +483,10 @@ class OrcReader::Impl {
       MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(info.offset, info.index_length,
                                              &index_stored,
                                              options_.reader_host));
+      if (options_.verify_checksums) {
+        MINIHIVE_RETURN_IF_ERROR(
+            VerifyCrc(index_stored, info.index_crc, "stripe index"));
+      }
       std::string index_raw;
       MINIHIVE_RETURN_IF_ERROR(
           codec::DecompressUnits(codec_, index_stored, &index_raw));
@@ -493,13 +543,20 @@ class OrcReader::Impl {
       if (IsStripeScoped(s.kind)) {
         // Dictionary streams are always read whole.
         MINIHIVE_RETURN_IF_ERROR(stream->InitFull(
-            file_.get(), start, s.length, codec_, options_.reader_host));
+            file_.get(), start, s.length, codec_, options_.reader_host, s.crc,
+            options_.verify_checksums));
       } else if (ppd_mode_) {
+        const std::vector<uint32_t>* crcs =
+            si < stripe_index_.segment_crcs.size()
+                ? &stripe_index_.segment_crcs[si]
+                : nullptr;
         stream->InitPpd(file_.get(), start, &stripe_index_.segment_ends[si],
-                        &group_runs_, codec_, options_.reader_host);
+                        crcs, &group_runs_, codec_, options_.reader_host,
+                        options_.verify_checksums);
       } else {
         MINIHIVE_RETURN_IF_ERROR(stream->InitFull(
-            file_.get(), start, s.length, codec_, options_.reader_host));
+            file_.get(), start, s.length, codec_, options_.reader_host, s.crc,
+            options_.verify_checksums));
       }
       switch (s.kind) {
         case StreamKind::kPresent:

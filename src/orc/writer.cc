@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/crc32.h"
 #include "orc/layout.h"
 #include "orc/stream_encoding.h"
 
@@ -484,9 +485,20 @@ class OrcWriter::Impl {
             nb = ne;
           }
         }
-        footer.streams.push_back(
-            {static_cast<uint32_t>(c), kind, stream_bytes.size()});
+        // Checksum each on-disk segment (what a PPD reader fetches) and the
+        // stream as a whole (what a full-scan reader fetches).
+        std::vector<uint32_t> crcs;
+        crcs.reserve(ends.size());
+        uint64_t seg_begin = 0;
+        for (uint64_t end : ends) {
+          crcs.push_back(Crc32(std::string_view(stream_bytes)
+                                   .substr(seg_begin, end - seg_begin)));
+          seg_begin = end;
+        }
+        footer.streams.push_back({static_cast<uint32_t>(c), kind,
+                                  stream_bytes.size(), Crc32(stream_bytes)});
         index.segment_ends.push_back(std::move(ends));
+        index.segment_crcs.push_back(std::move(crcs));
         data.append(stream_bytes);
       }
     }
@@ -515,6 +527,8 @@ class OrcWriter::Impl {
     info.data_length = data.size();
     info.footer_length = footer_bytes.size();
     info.num_rows = rows_in_stripe_;
+    info.index_crc = Crc32(index_bytes);
+    info.footer_crc = Crc32(footer_bytes);
     MINIHIVE_RETURN_IF_ERROR(file_->Append(index_bytes));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(data));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(footer_bytes));
@@ -551,13 +565,15 @@ class OrcWriter::Impl {
         codec_, footer_raw, options_.compression_unit_size, &footer_bytes));
 
     // Postscript (uncompressed): footer length, metadata length, codec,
-    // unit size, stride, magic.
+    // unit size, stride, section checksums, magic.
     std::string postscript;
     PutVarint64(&postscript, footer_bytes.size());
     PutVarint64(&postscript, metadata_bytes.size());
     postscript.push_back(static_cast<char>(options_.compression));
     PutVarint64(&postscript, options_.compression_unit_size);
     PutVarint64(&postscript, options_.row_index_stride);
+    PutFixed32(&postscript, Crc32(footer_bytes));
+    PutFixed32(&postscript, Crc32(metadata_bytes));
     postscript.append(kOrcMagic, kOrcMagicLen);
     if (postscript.size() > 255) {
       return Status::Internal("postscript too large");

@@ -1,5 +1,6 @@
 #include "ql/driver.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/stopwatch.h"
@@ -89,26 +90,48 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   exec_options.job_startup_ms = options_.job_startup_ms;
   exec_options.vectorized = options_.vectorized_execution;
   exec_options.use_combiner = options_.shuffle_combiner;
+  exec_options.max_task_attempts = options_.max_task_attempts;
   PlanExecutor executor(fs_, catalog_, exec_options);
   MINIHIVE_RETURN_IF_ERROR(
       executor.Run(compiled, &result.counters, &result.jobs));
 
   // Fetch: read the result files back (variant-coded SequenceFile rows).
+  // Only committed task outputs ("part-*") are fetched — a straggler's
+  // attempt file must never leak into the result. Each file gets the same
+  // bounded retry as a task, so a transient read fault doesn't fail the
+  // whole query after its jobs already succeeded.
   const formats::FileFormat* format =
       formats::GetFileFormat(formats::FormatKind::kSequenceFile);
-  for (const std::string& path : fs_->List(result_path + "/")) {
-    MINIHIVE_ASSIGN_OR_RETURN(
-        std::unique_ptr<formats::RowReader> reader,
-        format->OpenReader(fs_, path, nullptr, formats::ReadOptions()));
-    Row row;
-    while (true) {
-      MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
-      if (!more) break;
-      result.rows.push_back(row);
-      if (plan.limit >= 0 && !plan.order_ascending.empty() &&
-          static_cast<int64_t>(result.rows.size()) >= plan.limit) {
-        break;
+  const int max_fetch_attempts = std::max(1, options_.max_task_attempts);
+  for (const std::string& path : fs_->List(result_path + "/part-")) {
+    Status last;
+    for (int attempt = 0; attempt < max_fetch_attempts; ++attempt) {
+      std::vector<Row> file_rows;
+      auto reader =
+          format->OpenReader(fs_, path, nullptr, formats::ReadOptions());
+      last = reader.status();
+      if (!last.ok()) continue;
+      Row row;
+      while (true) {
+        Result<bool> more = (*reader)->Next(&row);
+        last = more.status();
+        if (!last.ok() || !*more) break;
+        file_rows.push_back(row);
       }
+      if (!last.ok()) continue;
+      for (Row& r : file_rows) {
+        result.rows.push_back(std::move(r));
+        if (plan.limit >= 0 && !plan.order_ascending.empty() &&
+            static_cast<int64_t>(result.rows.size()) >= plan.limit) {
+          break;
+        }
+      }
+      break;
+    }
+    if (!last.ok()) {
+      return Status(last.code(), "result fetch of " + path + " failed after " +
+                                     std::to_string(max_fetch_attempts) +
+                                     " attempts: " + last.message());
     }
   }
   // LIMIT without a global sort is enforced per task; trim the union.

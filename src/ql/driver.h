@@ -43,6 +43,10 @@ struct DriverOptions {
   int num_workers = 2;
   /// Simulated per-job startup latency (Hadoop scheduling/JVM costs).
   int job_startup_ms = 0;
+  /// Attempts per task (and per local task / result fetch) before giving up
+  /// with the last attempt's error. Transient DFS faults are retried; a
+  /// deterministic failure still surfaces after this many tries.
+  int max_task_attempts = 4;
   /// Keep intermediate files after the query (debugging).
   bool keep_temps = false;
 };

@@ -35,6 +35,20 @@ void CollectMapJoins(const OpDescPtr& root, std::vector<const OpDesc*>* out) {
   }
 }
 
+/// Collects the FileSink path prefixes of a pipeline (for attempt-output
+/// promotion).
+void CollectFileSinks(const OpDesc* root, std::vector<std::string>* out) {
+  std::vector<const OpDesc*> stack = {root};
+  std::set<const OpDesc*> seen;
+  while (!stack.empty()) {
+    const OpDesc* cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (cur->kind == OpKind::kFileSink) out->push_back(cur->sink_path_prefix);
+    for (const OpDescPtr& child : cur->children) stack.push_back(child.get());
+  }
+}
+
 class RowMapTask : public mr::MapTask {
  public:
   RowMapTask(dfs::FileSystem* fs, const std::vector<SourceRuntime>* sources,
@@ -46,7 +60,7 @@ class RowMapTask : public mr::MapTask {
         mapjoin_tables_(mapjoin_tables),
         vectorized_(vectorized) {}
 
-  Status Run(const mr::InputSplit& split, int task_index,
+  Status Run(const mr::InputSplit& split, int task_index, int attempt,
              mr::ShuffleEmitter* emitter) override {
     if (split.source_tag < 0 ||
         static_cast<size_t>(split.source_tag) >= sources_->size()) {
@@ -57,6 +71,7 @@ class RowMapTask : public mr::MapTask {
     exec::TaskContext ctx;
     ctx.fs = fs_;
     ctx.task_suffix = "m-" + std::to_string(task_index);
+    ctx.attempt = attempt;
     ctx.emitter = emitter;
     ctx.mapjoin_tables = mapjoin_tables_;
     ctx.reader_host = split.locality_host;
@@ -114,11 +129,13 @@ class RowReduceTask : public mr::ReduceTask {
   RowReduceTask(dfs::FileSystem* fs, const OpDesc* reduce_root,
                 const std::unordered_map<
                     int, std::shared_ptr<exec::MapJoinTables>>* mapjoin_tables,
-                int partition, mr::ShuffleEmitter* emitter = nullptr)
+                int partition, int attempt = 0,
+                mr::ShuffleEmitter* emitter = nullptr)
       : fs_(fs),
         reduce_root_(reduce_root),
         mapjoin_tables_(mapjoin_tables),
         partition_(partition),
+        attempt_(attempt),
         emitter_(emitter) {}
 
   Status StartGroup(const Row& key) override {
@@ -150,6 +167,7 @@ class RowReduceTask : public mr::ReduceTask {
     ctx_.fs = fs_;
     ctx_.task_suffix = (emitter_ != nullptr ? "c-" : "r-") +
                        std::to_string(partition_);
+    ctx_.attempt = attempt_;
     ctx_.mapjoin_tables = mapjoin_tables_;
     ctx_.emitter = emitter_;
     MINIHIVE_ASSIGN_OR_RETURN(root_,
@@ -162,6 +180,7 @@ class RowReduceTask : public mr::ReduceTask {
   const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
       mapjoin_tables_;
   int partition_;
+  int attempt_;
   mr::ShuffleEmitter* emitter_;
   exec::TaskContext ctx_;
   exec::OperatorArena arena_;
@@ -191,6 +210,9 @@ Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
       report.elapsed_millis = watch.ElapsedMillis();
       report.map_tasks = counters.map_tasks;
       report.reduce_tasks = counters.reduce_tasks;
+      report.map_task_failures = counters.map_task_failures.load();
+      report.reduce_task_failures = counters.reduce_task_failures.load();
+      report.retried_task_millis = counters.retried_task_millis();
       reports->push_back(report);
     }
   }
@@ -206,7 +228,9 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
     if (!map_source.root->scan_temp_prefix.empty()) {
       source.format = formats::FormatKind::kSequenceFile;
       source.schema = nullptr;
-      source.paths = fs_->List(map_source.root->scan_temp_prefix + "/");
+      // Only committed task output ("part-*"): attempt-scoped files from a
+      // concurrent or aborted attempt must never become job input.
+      source.paths = fs_->List(map_source.root->scan_temp_prefix + "/part-");
     } else {
       MINIHIVE_ASSIGN_OR_RETURN(
           const TableDesc* table,
@@ -240,10 +264,26 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
     // streamed side is another join's output).
     CollectMapJoins(job.reduce_root, &mapjoins);
   }
+  // The local task reads the small tables outside the engine's task retry
+  // loop, so it gets its own bounded retries against transient read faults.
+  const int max_attempts = std::max(1, options_.max_task_attempts);
   for (const OpDesc* mj : mapjoins) {
-    MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<exec::MapJoinTables> tables,
-                              exec::BuildMapJoinTables(fs_, *mj, resolver));
-    (*mapjoin_tables)[mj->id] = std::move(tables);
+    Status last;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      auto tables = exec::BuildMapJoinTables(fs_, *mj, resolver);
+      if (tables.ok()) {
+        (*mapjoin_tables)[mj->id] = std::move(*tables);
+        last = Status::OK();
+        break;
+      }
+      last = tables.status();
+      counters->map_task_failures += 1;
+    }
+    if (!last.ok()) {
+      return Status(last.code(), "map-join local task failed after " +
+                                     std::to_string(max_attempts) +
+                                     " attempts: " + last.message());
+    }
   }
 
   // Splits.
@@ -260,6 +300,7 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
   }
   config.num_reducers = job.num_reducers;
   config.sort_ascending = job.sort_ascending;
+  config.max_task_attempts = options_.max_task_attempts;
 
   bool vectorized = options_.vectorized;
   dfs::FileSystem* fs = fs_;
@@ -269,9 +310,11 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
   };
   if (job.num_reducers > 0) {
     const OpDesc* reduce_root = job.reduce_root.get();
-    config.reduce_factory = [fs, reduce_root, mapjoin_tables](int partition) {
+    config.reduce_factory = [fs, reduce_root, mapjoin_tables](int partition,
+                                                              int attempt) {
       return std::make_unique<RowReduceTask>(fs, reduce_root,
-                                             mapjoin_tables.get(), partition);
+                                             mapjoin_tables.get(), partition,
+                                             attempt);
     };
     if (options_.use_combiner && job.combine_root != nullptr) {
       const OpDesc* combine_root = job.combine_root.get();
@@ -279,10 +322,49 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
           [fs, combine_root, mapjoin_tables](mr::ShuffleEmitter* out) {
             return std::make_unique<RowReduceTask>(fs, combine_root,
                                                    mapjoin_tables.get(),
-                                                   /*partition=*/0, out);
+                                                   /*partition=*/0,
+                                                   /*attempt=*/0, out);
           };
     }
   }
+
+  // Attempt-output promotion: a successful attempt's sink files are renamed
+  // into place; a failed attempt's are deleted. Sinks live in the map
+  // pipelines for map-only jobs and in the reduce pipeline otherwise.
+  auto map_sinks = std::make_shared<std::vector<std::string>>();
+  for (const auto& source : *sources) {
+    CollectFileSinks(source.root.get(), map_sinks.get());
+  }
+  auto reduce_sinks = std::make_shared<std::vector<std::string>>();
+  if (job.reduce_root != nullptr) {
+    CollectFileSinks(job.reduce_root.get(), reduce_sinks.get());
+  }
+  config.commit_task = [fs, map_sinks, reduce_sinks](
+                           mr::TaskKind kind, int index,
+                           int attempt) -> Status {
+    const std::vector<std::string>& prefixes =
+        kind == mr::TaskKind::kMap ? *map_sinks : *reduce_sinks;
+    std::string suffix = (kind == mr::TaskKind::kMap ? "m-" : "r-") +
+                         std::to_string(index);
+    for (const std::string& prefix : prefixes) {
+      std::string from = exec::AttemptPartName(prefix, suffix, attempt);
+      if (!fs->Exists(from)) continue;  // Task emitted no rows to this sink.
+      MINIHIVE_RETURN_IF_ERROR(
+          fs->Rename(from, exec::FinalPartName(prefix, suffix)));
+    }
+    return Status::OK();
+  };
+  config.abort_task = [fs, map_sinks, reduce_sinks](mr::TaskKind kind,
+                                                    int index, int attempt) {
+    const std::vector<std::string>& prefixes =
+        kind == mr::TaskKind::kMap ? *map_sinks : *reduce_sinks;
+    std::string suffix = (kind == mr::TaskKind::kMap ? "m-" : "r-") +
+                         std::to_string(index);
+    for (const std::string& prefix : prefixes) {
+      // Best-effort: a retry writes under a different attempt id anyway.
+      fs->Delete(exec::AttemptPartName(prefix, suffix, attempt)).ok();
+    }
+  };
   return engine_.RunJob(config, counters);
 }
 

@@ -26,6 +26,9 @@ struct ExecutionOptions {
   /// Run the combiner pipelines the task compiler attached to eligible
   /// GROUP BY jobs (map-side pre-aggregation over sorted shuffle runs).
   bool use_combiner = true;
+  /// Maximum attempts per task (and per map-join local task) before the job
+  /// fails with the last attempt's error.
+  int max_task_attempts = 4;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.
@@ -34,6 +37,11 @@ struct JobReport {
   double elapsed_millis = 0;
   int map_tasks = 0;
   int reduce_tasks = 0;
+  /// Failed attempts the job recovered from (or died of) and the wall time
+  /// those attempts burnt.
+  uint64_t map_task_failures = 0;
+  uint64_t reduce_task_failures = 0;
+  double retried_task_millis = 0;
 };
 
 /// Executes a compiled plan job-by-job (respecting dependencies) on the

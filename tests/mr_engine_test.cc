@@ -16,9 +16,10 @@ namespace {
 class ModuloMapTask : public MapTask {
  public:
   explicit ModuloMapTask(int buckets) : buckets_(buckets) {}
-  Status Run(const InputSplit& split, int task_index,
+  Status Run(const InputSplit& split, int task_index, int attempt,
              ShuffleEmitter* emitter) override {
     (void)task_index;
+    (void)attempt;
     for (uint64_t i = split.offset; i < split.offset + split.length; ++i) {
       MINIHIVE_RETURN_IF_ERROR(
           emitter->Emit({Value::Int(static_cast<int64_t>(i % buckets_))},
@@ -91,7 +92,7 @@ TEST(EngineTest, GroupSignalsAndPartitioning) {
   job.map_factory = [] { return std::make_unique<ModuloMapTask>(97); };
   std::mutex mutex;
   std::vector<GroupRecord> groups;
-  job.reduce_factory = [&](int) {
+  job.reduce_factory = [&](int, int) {
     return std::make_unique<CollectingReduceTask>(&mutex, &groups);
   };
   JobCounters counters;
@@ -131,7 +132,7 @@ TEST(EngineTest, SortOrderWithinPartition) {
   job.map_factory = [] { return std::make_unique<ModuloMapTask>(50); };
   std::mutex mutex;
   std::vector<GroupRecord> groups;
-  job.reduce_factory = [&](int) {
+  job.reduce_factory = [&](int, int) {
     return std::make_unique<CollectingReduceTask>(&mutex, &groups);
   };
   JobCounters counters;
@@ -145,7 +146,7 @@ TEST(EngineTest, SortOrderWithinPartition) {
 TEST(EngineTest, MapErrorPropagates) {
   class FailingMapTask : public MapTask {
    public:
-    Status Run(const InputSplit&, int, ShuffleEmitter*) override {
+    Status Run(const InputSplit&, int, int, ShuffleEmitter*) override {
       return Status::IoError("synthetic map failure");
     }
   };
@@ -163,7 +164,7 @@ TEST(EngineTest, MapOnlyJobSkipsShuffle) {
   class CountingMapTask : public MapTask {
    public:
     explicit CountingMapTask(std::atomic<int>* runs) : runs_(runs) {}
-    Status Run(const InputSplit&, int, ShuffleEmitter*) override {
+    Status Run(const InputSplit&, int, int, ShuffleEmitter*) override {
       runs_->fetch_add(1);
       return Status::OK();
     }
@@ -291,7 +292,7 @@ TEST(EngineTest, CombinerPreservesOutputAndCutsShuffledBytes) {
     job.map_factory = [] { return std::make_unique<ModuloMapTask>(8); };
     std::mutex mutex;
     std::vector<GroupRecord> groups;
-    job.reduce_factory = [&](int) {
+    job.reduce_factory = [&](int, int) {
       return std::make_unique<SummingReduceTask>(&mutex, &groups);
     };
     if (use_combiner) {
@@ -349,7 +350,8 @@ std::vector<PropertyRecord> MakePropertyRecords(uint64_t seed, size_t count) {
 
 class PropertyMapTask : public MapTask {
  public:
-  Status Run(const InputSplit& split, int, ShuffleEmitter* emitter) override {
+  Status Run(const InputSplit& split, int, int,
+             ShuffleEmitter* emitter) override {
     auto records = MakePropertyRecords(split.offset, split.length);
     for (auto& record : records) {
       MINIHIVE_RETURN_IF_ERROR(emitter->Emit(
@@ -410,7 +412,7 @@ TEST(EngineTest, KWayMergeMatchesFullSortOrdering) {
     job.map_factory = [] { return std::make_unique<PropertyMapTask>(); };
     std::mutex mutex;
     std::map<int, std::vector<KeyTag>> merged;
-    job.reduce_factory = [&](int partition) {
+    job.reduce_factory = [&](int partition, int) {
       return std::make_unique<SequenceReduceTask>(&mutex, &merged, partition);
     };
     JobCounters counters;
@@ -458,6 +460,216 @@ TEST(EngineTest, KWayMergeMatchesFullSortOrdering) {
     EXPECT_EQ(counters.reduce_input_records.load(),
               static_cast<uint64_t>(kSplits) * kRecordsPerSplit);
   }
+}
+
+/// Map task that fails its first `failures` attempts per task, then behaves
+/// like ModuloMapTask. Exercises the engine's per-attempt retry loop.
+class FlakyMapTask : public MapTask {
+ public:
+  FlakyMapTask(int buckets, int failures) : inner_(buckets),
+                                            failures_(failures) {}
+  Status Run(const InputSplit& split, int task_index, int attempt,
+             ShuffleEmitter* emitter) override {
+    if (attempt < failures_) {
+      // Emit some records first so the engine must discard the partial
+      // attempt's counters and shuffle output.
+      MINIHIVE_RETURN_IF_ERROR(
+          emitter->Emit({Value::Int(0)}, {Value::Int(-1)}, 0));
+      return Status::IoError("injected flake on attempt " +
+                             std::to_string(attempt));
+    }
+    return inner_.Run(split, task_index, attempt, emitter);
+  }
+
+ private:
+  ModuloMapTask inner_;
+  int failures_;
+};
+
+TEST(EngineTest, FlakyMapTaskSucceedsOnRetryWithExactCounters) {
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{4, 0});
+  JobConfig job;
+  job.name = "flaky-maps";
+  for (int s = 0; s < 6; ++s) {
+    job.splits.push_back({"", static_cast<uint64_t>(s) * 1000, 1000, -1, 0});
+  }
+  job.num_reducers = 2;
+  job.max_task_attempts = 3;
+  job.map_factory = [] { return std::make_unique<FlakyMapTask>(97, 2); };
+  std::mutex mutex;
+  std::vector<GroupRecord> groups;
+  job.reduce_factory = [&](int, int) {
+    return std::make_unique<CollectingReduceTask>(&mutex, &groups);
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+
+  // Failed attempts must not leak records into the shuffle or the counters:
+  // the totals are exactly those of a fault-free run.
+  EXPECT_EQ(counters.map_output_records.load(), 6000u);
+  EXPECT_EQ(counters.reduce_input_records.load(), 6000u);
+  EXPECT_EQ(counters.map_task_failures.load(), 12u);  // 6 tasks x 2 flakes.
+  EXPECT_EQ(counters.reduce_task_failures.load(), 0u);
+  int64_t total = 0;
+  for (const GroupRecord& g : groups) total += g.sum;
+  EXPECT_EQ(total, 5999LL * 6000 / 2);
+}
+
+TEST(EngineTest, MapAttemptsExhaustedFailsWithLastError) {
+  class AlwaysFailingMapTask : public MapTask {
+   public:
+    Status Run(const InputSplit&, int, int, ShuffleEmitter*) override {
+      return Status::IoError("disk on fire");
+    }
+  };
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{1, 0});
+  JobConfig job;
+  job.splits.push_back({"", 0, 10, -1, 0});
+  job.num_reducers = 1;
+  job.max_task_attempts = 3;
+  job.map_factory = [] { return std::make_unique<AlwaysFailingMapTask>(); };
+  job.reduce_factory = [](int, int) {
+    std::abort();  // Unreachable: the map phase never succeeds.
+    return std::unique_ptr<ReduceTask>();
+  };
+  JobCounters counters;
+  Status status = engine.RunJob(job, &counters);
+  ASSERT_TRUE(status.IsIoError()) << status.ToString();
+  // The error identifies the task, the attempt budget, and the root cause.
+  EXPECT_NE(status.ToString().find("after 3 attempts"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("disk on fire"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(counters.map_task_failures.load(), 3u);
+}
+
+TEST(EngineTest, FlakyReduceTaskRetriesAgainstIntactRuns) {
+  // Reduce attempt 0 consumes the whole merged stream and then fails; the
+  // retry must see the identical stream (the engine may not release map
+  // runs until an attempt succeeds).
+  class FlakyReduceTask : public ReduceTask {
+   public:
+    FlakyReduceTask(std::mutex* mutex, std::vector<GroupRecord>* sink,
+                    int attempt)
+        : inner_(mutex, sink), attempt_(attempt) {}
+    Status StartGroup(const Row& key) override {
+      return attempt_ == 0 ? Status::OK() : inner_.StartGroup(key);
+    }
+    Status Reduce(const Row& key, const Row& value, int tag) override {
+      return attempt_ == 0 ? Status::OK() : inner_.Reduce(key, value, tag);
+    }
+    Status EndGroup() override {
+      return attempt_ == 0 ? Status::OK() : inner_.EndGroup();
+    }
+    Status Finish() override {
+      if (attempt_ == 0) return Status::IoError("reduce flake");
+      return inner_.Finish();
+    }
+
+   private:
+    SummingReduceTask inner_;
+    int attempt_;
+  };
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{2, 0});
+  JobConfig job;
+  for (int s = 0; s < 4; ++s) {
+    job.splits.push_back({"", static_cast<uint64_t>(s) * 500, 500, -1, 0});
+  }
+  job.num_reducers = 2;
+  job.max_task_attempts = 2;
+  job.map_factory = [] { return std::make_unique<ModuloMapTask>(10); };
+  std::mutex mutex;
+  std::vector<GroupRecord> groups;
+  job.reduce_factory = [&](int, int attempt) {
+    return std::make_unique<FlakyReduceTask>(&mutex, &groups, attempt);
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+  EXPECT_EQ(counters.reduce_task_failures.load(), 2u);  // One per partition.
+  // Only the successful attempts' consumption is counted.
+  EXPECT_EQ(counters.reduce_input_records.load(), 2000u);
+  int64_t count = 0;
+  for (const GroupRecord& g : groups) count += g.count;
+  EXPECT_EQ(count, 2000);
+}
+
+TEST(EngineTest, CommitAndAbortHooksFirePerAttempt) {
+  struct Event {
+    TaskKind kind;
+    int index;
+    int attempt;
+    bool committed;
+  };
+  std::mutex mutex;
+  std::vector<Event> events;
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{2, 0});
+  JobConfig job;
+  for (int s = 0; s < 3; ++s) {
+    job.splits.push_back({"", static_cast<uint64_t>(s) * 100, 100, -1, 0});
+  }
+  job.num_reducers = 1;
+  job.max_task_attempts = 2;
+  job.map_factory = [] { return std::make_unique<FlakyMapTask>(5, 1); };
+  std::vector<GroupRecord> groups;
+  job.reduce_factory = [&](int, int) {
+    return std::make_unique<SummingReduceTask>(&mutex, &groups);
+  };
+  job.commit_task = [&](TaskKind kind, int index, int attempt) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back({kind, index, attempt, true});
+    return Status::OK();
+  };
+  job.abort_task = [&](TaskKind kind, int index, int attempt) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back({kind, index, attempt, false});
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+
+  int map_commits = 0, map_aborts = 0, reduce_commits = 0, reduce_aborts = 0;
+  for (const Event& e : events) {
+    if (e.kind == TaskKind::kMap) {
+      if (e.committed) {
+        ++map_commits;
+        EXPECT_EQ(e.attempt, 1) << "map " << e.index;
+      } else {
+        ++map_aborts;
+        EXPECT_EQ(e.attempt, 0) << "map " << e.index;
+      }
+    } else {
+      (e.committed ? reduce_commits : reduce_aborts)++;
+    }
+  }
+  EXPECT_EQ(map_commits, 3);   // Every map commits exactly once...
+  EXPECT_EQ(map_aborts, 3);    // ...after exactly one aborted attempt.
+  EXPECT_EQ(reduce_commits, 1);
+  EXPECT_EQ(reduce_aborts, 0);
+}
+
+TEST(EngineTest, FailingCommitHookFailsTheAttempt) {
+  // A commit that cannot promote its outputs must count as a failed attempt
+  // (and be retried like any other failure).
+  std::atomic<int> commit_calls{0};
+  dfs::FileSystem fs;
+  Engine engine(&fs, EngineOptions{1, 0});
+  JobConfig job;
+  job.splits.push_back({"", 0, 10, -1, 0});
+  job.num_reducers = 0;
+  job.max_task_attempts = 2;
+  job.map_factory = [] { return std::make_unique<ModuloMapTask>(5); };
+  job.commit_task = [&](TaskKind, int, int) {
+    return commit_calls.fetch_add(1) == 0
+               ? Status::IoError("rename lost a race")
+               : Status::OK();
+  };
+  JobCounters counters;
+  ASSERT_TRUE(engine.RunJob(job, &counters).ok());
+  EXPECT_EQ(commit_calls.load(), 2);
+  EXPECT_EQ(counters.map_task_failures.load(), 1u);
 }
 
 TEST(EstimateRowBytesTest, GrowsWithContent) {

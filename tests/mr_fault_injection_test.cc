@@ -1,0 +1,222 @@
+/// Deterministic fault-injection sweep over the whole stack: DFS read
+/// errors and silent byte flips under real queries (GROUP BY, join). The
+/// contract under test is the paper's durability story end-to-end — every
+/// run must either produce byte-identical results to the fault-free run
+/// (task retries absorbed the faults) or fail with a typed error
+/// (IoError / Corruption). A silently wrong answer is the only outcome
+/// that fails this test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/random.h"
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+/// Canonical form of a result set: one string per row, sorted, so runs
+/// with different task interleavings compare equal.
+std::vector<std::string> Canonicalize(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += '|';
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dfs::FileSystemOptions fs_options;
+    fs_options.block_size = 64 * 1024;  // Several blocks => several splits.
+    fs_ = std::make_unique<dfs::FileSystem>(fs_options);
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+
+    std::vector<Row> orders;
+    for (int i = 0; i < 4000; ++i) {
+      orders.push_back({Value::Int(i), Value::Int(i % 128),
+                        Value::Double((i % 97) * 2.25),
+                        Value::String(i % 3 == 0 ? "open" : "done")});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "orders",
+                    *TypeDescription::Parse("struct<o_id:bigint,"
+                                            "o_custkey:bigint,o_amount:double,"
+                                            "o_status:string>"),
+                    formats::FormatKind::kOrcFile,
+                    codec::CompressionKind::kNone, orders, 3)
+                    .ok());
+
+    std::vector<Row> customers;
+    for (int i = 0; i < 128; ++i) {
+      customers.push_back({Value::Int(i),
+                           Value::String("cust-" + std::to_string(i)),
+                           Value::String(i % 4 == 0 ? "gold" : "basic")});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "customers",
+                    *TypeDescription::Parse("struct<c_id:bigint,"
+                                            "c_name:string,c_segment:string>"),
+                    formats::FormatKind::kOrcFile,
+                    codec::CompressionKind::kNone, customers)
+                    .ok());
+  }
+
+  void TearDown() override { fs_->set_fault_injector(nullptr); }
+
+  Result<QueryResult> Execute(const std::string& sql) {
+    DriverOptions options;
+    options.num_workers = 2;
+    Driver driver(fs_.get(), catalog_.get(), options);
+    return driver.Execute(sql);
+  }
+
+  /// Runs `sql` once fault-free (the golden answer), then once per seed
+  /// under injection, and enforces identical-or-typed-error per run.
+  void Sweep(const std::string& sql, int num_seeds, FaultConfig base) {
+    auto golden = Execute(sql);
+    ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+    std::vector<std::string> want = Canonicalize(golden->rows);
+    ASSERT_FALSE(want.empty());
+
+    int successes = 0;
+    int typed_failures = 0;
+    uint64_t injected = 0;
+    uint64_t recovered_failures = 0;
+    for (int seed = 0; seed < num_seeds; ++seed) {
+      FaultConfig config = base;
+      config.seed = static_cast<uint64_t>(seed) * 7919 + 1;
+      FaultInjector injector(config);
+      fs_->set_fault_injector(&injector);
+      auto result = Execute(sql);
+      fs_->set_fault_injector(nullptr);
+      injected += injector.stats().total();
+
+      if (!result.ok()) {
+        // Acceptable only as a *typed* infrastructure error.
+        EXPECT_TRUE(result.status().IsIoError() ||
+                    result.status().IsCorruption())
+            << "seed " << seed << ": untyped failure "
+            << result.status().ToString();
+        ++typed_failures;
+        continue;
+      }
+      ++successes;
+      recovered_failures += result->counters.map_task_failures.load() +
+                            result->counters.reduce_task_failures.load();
+      EXPECT_EQ(Canonicalize(result->rows), want)
+          << "seed " << seed << ": run succeeded with WRONG rows";
+    }
+
+    // The sweep is only meaningful if faults actually fired and retries
+    // actually recovered some of them.
+    EXPECT_GT(injected, 0u) << "injector never fired; sweep is vacuous";
+    EXPECT_GT(successes, 0) << "every seed failed; retries are not working";
+    EXPECT_GT(recovered_failures, 0u)
+        << "no run recovered from a failed attempt; probabilities too low "
+           "to exercise the retry path";
+    SCOPED_TRACE("sweep: " + std::to_string(successes) + " ok, " +
+                 std::to_string(typed_failures) + " typed failures, " +
+                 std::to_string(injected) + " faults injected");
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(FaultSweepTest, GroupByUnderReadErrorsAndByteFlips) {
+  FaultConfig config;
+  config.read_error_probability = 0.01;
+  config.read_flip_probability = 0.005;
+  Sweep(
+      "SELECT o_custkey, COUNT(*) AS cnt, SUM(o_amount) AS total "
+      "FROM orders GROUP BY o_custkey",
+      25, config);
+}
+
+TEST_F(FaultSweepTest, JoinGroupByUnderReadErrorsAndByteFlips) {
+  FaultConfig config;
+  config.read_error_probability = 0.01;
+  config.read_flip_probability = 0.005;
+  Sweep(
+      "SELECT c_segment, COUNT(*) AS cnt, SUM(o_amount) AS total "
+      "FROM orders JOIN customers ON o_custkey = c_id "
+      "GROUP BY c_segment",
+      25, config);
+}
+
+TEST_F(FaultSweepTest, HighFaultRateNeverProducesWrongRows) {
+  // Well past the retry budget's recovery point: most runs will die, which
+  // is fine — the assertion that matters is identical-or-typed-error.
+  const std::string sql =
+      "SELECT o_status, COUNT(*) FROM orders GROUP BY o_status";
+  auto golden = Execute(sql);
+  ASSERT_TRUE(golden.ok());
+  std::vector<std::string> want = Canonicalize(golden->rows);
+
+  for (int seed = 0; seed < 10; ++seed) {
+    FaultConfig config;
+    config.seed = 1000 + seed;
+    config.read_error_probability = 0.25;
+    config.read_flip_probability = 0.10;
+    FaultInjector injector(config);
+    fs_->set_fault_injector(&injector);
+    auto result = Execute(sql);
+    fs_->set_fault_injector(nullptr);
+    if (result.ok()) {
+      EXPECT_EQ(Canonicalize(result->rows), want) << "seed " << seed;
+    } else {
+      EXPECT_TRUE(result.status().IsIoError() ||
+                  result.status().IsCorruption())
+          << "seed " << seed << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST_F(FaultSweepTest, WriteFaultsAreRetriedOrTyped) {
+  // Append/close failures hit the shuffle spill and sink writers; a failed
+  // write attempt must be retried from scratch, never half-committed.
+  const std::string sql =
+      "SELECT o_custkey, MIN(o_id), MAX(o_id) FROM orders "
+      "GROUP BY o_custkey";
+  auto golden = Execute(sql);
+  ASSERT_TRUE(golden.ok());
+  std::vector<std::string> want = Canonicalize(golden->rows);
+
+  int successes = 0;
+  for (int seed = 0; seed < 15; ++seed) {
+    FaultConfig config;
+    config.seed = 5000 + seed;
+    config.append_error_probability = 0.002;
+    config.close_error_probability = 0.01;
+    FaultInjector injector(config);
+    fs_->set_fault_injector(&injector);
+    auto result = Execute(sql);
+    fs_->set_fault_injector(nullptr);
+    if (result.ok()) {
+      ++successes;
+      EXPECT_EQ(Canonicalize(result->rows), want) << "seed " << seed;
+    } else {
+      EXPECT_TRUE(result.status().IsIoError() ||
+                  result.status().IsCorruption())
+          << "seed " << seed << ": " << result.status().ToString();
+    }
+  }
+  EXPECT_GT(successes, 0);
+}
+
+}  // namespace
+}  // namespace minihive::ql

@@ -1,0 +1,257 @@
+/// Differential harness: randomized grammar-generated queries executed by
+/// the row engine and the vectorized engine over TPC-H-shaped data must
+/// produce identical results. Any divergence prints the seed and the SQL,
+/// so a failure reproduces with a one-line test filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+/// Query generator: a small SQL grammar over lineitem/orders. Everything is
+/// driven by one Random stream, so a seed fully determines the query.
+class QueryGen {
+ public:
+  explicit QueryGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    bool join = rng_.Bernoulli(0.3);
+    bool aggregate = rng_.Bernoulli(0.7);
+    std::string sql = "SELECT ";
+    std::string group_col;
+    if (aggregate) {
+      if (rng_.Bernoulli(0.8)) {
+        group_col = PickGroupColumn(join);
+        sql += group_col + ", ";
+      }
+      int num_aggs = 1 + static_cast<int>(rng_.Uniform(3));
+      for (int i = 0; i < num_aggs; ++i) {
+        if (i > 0) sql += ", ";
+        sql += PickAggregate(i);
+      }
+    } else {
+      sql += "l_orderkey, l_linenumber, " + PickNumericExpr("p");
+    }
+    sql += " FROM lineitem";
+    if (join) sql += " JOIN orders ON l_orderkey = o_orderkey";
+    if (rng_.Bernoulli(0.75)) sql += " WHERE " + PickPredicate(join);
+    if (!group_col.empty()) sql += " GROUP BY " + group_col;
+    return sql;
+  }
+
+ private:
+  std::string PickGroupColumn(bool join) {
+    const char* own[] = {"l_returnflag", "l_linenumber", "l_suppkey"};
+    const char* joined[] = {"l_returnflag", "l_linenumber", "o_priority"};
+    return join ? joined[rng_.Uniform(3)] : own[rng_.Uniform(3)];
+  }
+
+  std::string PickNumericColumn() {
+    const char* cols[] = {"l_quantity", "l_extendedprice", "l_discount",
+                          "l_suppkey"};
+    return cols[rng_.Uniform(4)];
+  }
+
+  std::string PickAggregate(int i) {
+    std::string col = PickNumericColumn();
+    std::string alias = " AS a" + std::to_string(i);
+    switch (rng_.Uniform(5)) {
+      case 0: return "COUNT(*)" + alias;
+      case 1: return "SUM(" + col + ")" + alias;
+      case 2: return "MIN(" + col + ")" + alias;
+      case 3: return "MAX(" + col + ")" + alias;
+      default: return "AVG(" + col + ")" + alias;
+    }
+  }
+
+  std::string PickNumericExpr(const std::string& alias) {
+    std::string col = PickNumericColumn();
+    switch (rng_.Uniform(3)) {
+      case 0: return col + " AS " + alias;
+      case 1:
+        return col + " * " + std::to_string(1 + rng_.Uniform(4)) + " AS " +
+               alias;
+      default: return col + " + " + PickNumericColumn() + " AS " + alias;
+    }
+  }
+
+  std::string PickComparison() {
+    switch (rng_.Uniform(4)) {
+      case 0:
+        return "l_quantity < " + std::to_string(rng_.Uniform(50));
+      case 1:
+        return "l_suppkey = " + std::to_string(rng_.Uniform(40));
+      case 2: {
+        uint64_t lo = rng_.Uniform(30);
+        return "l_quantity BETWEEN " + std::to_string(lo) + " AND " +
+               std::to_string(lo + 1 + rng_.Uniform(20));
+      }
+      default:
+        return std::string("l_returnflag = '") +
+               (rng_.Bernoulli(0.5) ? "A" : "R") + "'";
+    }
+  }
+
+  std::string PickPredicate(bool join) {
+    std::string pred = PickComparison();
+    if (rng_.Bernoulli(0.4)) pred += " AND " + PickComparison();
+    if (join && rng_.Bernoulli(0.3)) pred += " AND o_custkey < 60";
+    return pred;
+  }
+
+  Random rng_;
+};
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dfs::FileSystemOptions fs_options;
+    fs_options.block_size = 128 * 1024;
+    fs_ = std::make_unique<dfs::FileSystem>(fs_options);
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+
+    // TPC-H-shaped lineitem: keys cluster (several lines per order),
+    // quantities/prices/discounts in TPC-H-ish ranges, skewed flags.
+    std::vector<Row> lineitem;
+    Random rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      int64_t orderkey = i / 4;
+      const char* flags[] = {"N", "N", "N", "A", "R"};
+      lineitem.push_back(
+          {Value::Int(orderkey), Value::Int(i % 7 + 1),
+           Value::Int(static_cast<int64_t>(rng.Uniform(40))),
+           Value::Int(static_cast<int64_t>(1 + rng.Uniform(50))),
+           Value::Double(900.0 + static_cast<double>(rng.Uniform(100000)) / 100.0),
+           Value::Double(static_cast<double>(rng.Uniform(11)) / 100.0),
+           Value::String(flags[rng.Uniform(5)])});
+    }
+    ASSERT_TRUE(
+        datagen::CreateAndLoad(
+            catalog_.get(), "lineitem",
+            *TypeDescription::Parse(
+                "struct<l_orderkey:bigint,l_linenumber:bigint,"
+                "l_suppkey:bigint,l_quantity:bigint,"
+                "l_extendedprice:double,l_discount:double,"
+                "l_returnflag:string>"),
+            formats::FormatKind::kOrcFile, codec::CompressionKind::kNone,
+            lineitem, 3)
+            .ok());
+
+    std::vector<Row> orders;
+    const char* priorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW"};
+    for (int i = 0; i < 750; ++i) {
+      orders.push_back({Value::Int(i), Value::Int(i % 100),
+                        Value::String(priorities[i % 4])});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "orders",
+                    *TypeDescription::Parse(
+                        "struct<o_orderkey:bigint,o_custkey:bigint,"
+                        "o_priority:string>"),
+                    formats::FormatKind::kOrcFile,
+                    codec::CompressionKind::kNone, orders, 2)
+                    .ok());
+  }
+
+  Result<QueryResult> Execute(const std::string& sql, bool vectorized) {
+    DriverOptions options;
+    options.num_workers = 2;
+    options.vectorized_execution = vectorized;
+    Driver driver(fs_.get(), catalog_.get(), options);
+    return driver.Execute(sql);
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+/// Orders rows deterministically by Value::Compare so both engines' task
+/// interleavings canonicalize identically.
+void SortRows(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+}
+
+/// Exact for ints/strings/nulls; tolerant for doubles (the engines may sum
+/// partials in different groupings).
+void ExpectRowsEqual(const std::vector<Row>& row_mode,
+                     const std::vector<Row>& vec_mode,
+                     const std::string& context) {
+  ASSERT_EQ(row_mode.size(), vec_mode.size()) << context;
+  for (size_t r = 0; r < row_mode.size(); ++r) {
+    ASSERT_EQ(row_mode[r].size(), vec_mode[r].size()) << context;
+    for (size_t c = 0; c < row_mode[r].size(); ++c) {
+      const Value& a = row_mode[r][c];
+      const Value& b = vec_mode[r][c];
+      if (a.is_double() && b.is_double()) {
+        double tolerance =
+            1e-9 * std::max(1.0, std::max(std::abs(a.AsDouble()),
+                                          std::abs(b.AsDouble())));
+        EXPECT_NEAR(a.AsDouble(), b.AsDouble(), tolerance)
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(a.Compare(b), 0)
+            << context << " row " << r << " col " << c << ": "
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(DifferentialTest, RowAndVectorizedAgreeOnRandomQueries) {
+  const int kSeeds = 40;
+  int vectorized_jobs = 0;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    std::string sql = QueryGen(seed).Generate();
+    const std::string context =
+        "seed " + std::to_string(seed) + ": " + sql;
+
+    auto row_result = Execute(sql, /*vectorized=*/false);
+    ASSERT_TRUE(row_result.ok())
+        << context << "\nrow engine: " << row_result.status().ToString();
+    auto vec_result = Execute(sql, /*vectorized=*/true);
+    ASSERT_TRUE(vec_result.ok())
+        << context << "\nvectorized: " << vec_result.status().ToString();
+
+    SortRows(&row_result->rows);
+    SortRows(&vec_result->rows);
+    ExpectRowsEqual(row_result->rows, vec_result->rows, context);
+    vectorized_jobs += vec_result->num_jobs;
+  }
+  // If no generated query ever ran a job, the sweep tested nothing.
+  EXPECT_GT(vectorized_jobs, 0);
+}
+
+TEST_F(DifferentialTest, HandWrittenSpotChecks) {
+  // A few fixed queries with independently computable answers, as anchors
+  // for the randomized sweep (a bug symmetric across both engines would
+  // pass the differential check).
+  auto count = Execute("SELECT COUNT(*) FROM lineitem", true);
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->rows.size(), 1u);
+  EXPECT_EQ(count->rows[0][0].AsInt(), 3000);
+
+  auto join = Execute(
+      "SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey",
+      true);
+  ASSERT_TRUE(join.ok());
+  ASSERT_EQ(join->rows.size(), 1u);
+  EXPECT_EQ(join->rows[0][0].AsInt(), 3000);  // Every line has its order.
+}
+
+}  // namespace
+}  // namespace minihive::ql
