@@ -27,6 +27,7 @@ int Main() {
   constexpr uint64_t kStripe = 3 << 18;      // 768 KB stripes (don't divide).
   constexpr uint64_t kRows = 150000;
 
+  bench::BenchReporter reporter("ablation_alignment");
   TablePrinter table({"alignment", "file MB", "stripes straddling blocks",
                       "local block reads", "remote block reads"});
   for (bool aligned : {false, true}) {
@@ -78,8 +79,20 @@ int Main() {
                   std::to_string(straddling),
                   std::to_string(fs.stats().local_block_reads.load()),
                   std::to_string(fs.stats().remote_block_reads.load())});
+    std::string prefix = aligned ? "aligned." : "unaligned.";
+    reporter.AddMetric(prefix + "file_bytes",
+                       static_cast<double>(*fs.FileSize("/t")), "bytes");
+    reporter.AddMetric(prefix + "straddling_stripes",
+                       static_cast<double>(straddling), "count");
+    reporter.AddMetric(prefix + "local_block_reads",
+                       static_cast<double>(fs.stats().local_block_reads.load()),
+                       "count");
+    reporter.AddMetric(
+        prefix + "remote_block_reads",
+        static_cast<double>(fs.stats().remote_block_reads.load()), "count");
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: alignment eliminates straddling stripes and their "
               "remote block reads, at the cost of padding bytes in the "
               "file.\n");

@@ -35,6 +35,7 @@ int Main() {
   std::string path = catalog.TableFiles(
       **catalog.GetTable("tpch_lineitem"))[0];
 
+  bench::BenchReporter reporter("ablation_batch_size");
   TablePrinter table({"batch size", "cpu ms", "survivors"});
   for (int batch_size : {32, 128, 512, 1024, 4096, 16384}) {
     // Columns: quantity(4), extendedprice(5), discount(6), shipdate(10).
@@ -83,9 +84,14 @@ int Main() {
     }
     table.AddRow({std::to_string(batch_size), Fmt(cpu.ElapsedMillis(), 1),
                   std::to_string(survivors)});
+    std::string prefix = "batch_" + std::to_string(batch_size) + ".";
+    reporter.AddMetric(prefix + "cpu_ms", cpu.ElapsedMillis(), "ms");
+    reporter.AddMetric(prefix + "survivors", static_cast<double>(survivors),
+                       "rows");
     (void)total;
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: CPU falls as batches amortize per-batch overhead, "
               "then flattens around the kilobyte-scale default.\n");
   return 0;

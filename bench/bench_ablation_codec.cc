@@ -59,6 +59,7 @@ int Main() {
     payloads.push_back({"incompressible bytes", std::move(random_bytes)});
   }
 
+  bench::BenchReporter reporter("ablation_codec");
   TablePrinter table({"payload", "codec", "ratio", "compress MB/s",
                       "decompress MB/s"});
   for (const Payload& payload : payloads) {
@@ -83,9 +84,20 @@ int Main() {
                         compressed.size(), 2),
                     Fmt(mb / (cms / 1000.0), 0),
                     Fmt(mb / (dms / 1000.0), 0)});
+      std::string prefix = std::string(codec->name()) + "." + payload.name;
+      for (char& c : prefix) {
+        if (c == ' ') c = '_';
+      }
+      reporter.AddMetric(prefix + ".raw_bytes",
+                         static_cast<double>(payload.data.size()), "bytes");
+      reporter.AddMetric(prefix + ".compressed_bytes",
+                         static_cast<double>(compressed.size()), "bytes");
+      reporter.AddMetric(prefix + ".compress_ms", cms, "ms");
+      reporter.AddMetric(prefix + ".decompress_ms", dms, "ms");
     }
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: DeepLz trades compression speed for ratio (the "
               "ZLIB-vs-Snappy tradeoff); incompressible data stays ~1.0x "
               "at near-memcpy decompress speed.\n");

@@ -33,6 +33,7 @@ int Main() {
                       {"unique strings", 0}};
   TypePtr schema = *TypeDescription::Parse("struct<s:string>");
 
+  bench::BenchReporter reporter("ablation_dictionary");
   TablePrinter table({"column", "threshold", "encoding", "file MB",
                       "load ms"});
   for (const Column& column : columns) {
@@ -62,9 +63,15 @@ int Main() {
           distinct / kRows <= threshold ? "DICTIONARY" : "DIRECT";
       table.AddRow({column.name, Fmt(threshold, 1), encoding,
                     Mb(*fs.FileSize("/t")), Fmt(ms, 0)});
+      std::string prefix = "card_" + std::to_string(column.cardinality) +
+                           ".thresh_" + Fmt(threshold, 1) + ".";
+      reporter.AddMetric(prefix + "file_bytes",
+                         static_cast<double>(*fs.FileSize("/t")), "bytes");
+      reporter.AddMetric(prefix + "load_ms", ms, "ms");
     }
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: dictionary shrinks low-cardinality columns; for "
               "unique strings it only costs load time — the 0.8 ratio check "
               "avoids that (paper §7.2's TPC-H observation).\n");

@@ -29,6 +29,7 @@ int Main() {
   sarg.AddLeaf({0, orc::PredicateOp::kBetween, Value::Int(0),
                 Value::Int(1500), {}});
 
+  bench::BenchReporter reporter("ablation_index_group");
   TablePrinter table({"stride", "file MB", "index MB", "groups skipped",
                       "selective-scan MB read"});
   for (uint64_t stride : {1000, 5000, 10000, 50000}) {
@@ -66,8 +67,19 @@ int Main() {
                   Mb(index_bytes),
                   std::to_string(reader->groups_skipped()),
                   Mb(fs.stats().bytes_read.load())});
+    std::string prefix = "stride_" + std::to_string(stride) + ".";
+    reporter.AddMetric(prefix + "file_bytes",
+                       static_cast<double>(*fs.FileSize("/t")), "bytes");
+    reporter.AddMetric(prefix + "index_bytes",
+                       static_cast<double>(index_bytes), "bytes");
+    reporter.AddMetric(prefix + "groups_skipped",
+                       static_cast<double>(reader->groups_skipped()), "groups");
+    reporter.AddMetric(prefix + "scan_bytes_read",
+                       static_cast<double>(fs.stats().bytes_read.load()),
+                       "bytes");
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: smaller strides skip more precisely but grow the "
               "index; very large strides cannot skip.\n");
   return 0;

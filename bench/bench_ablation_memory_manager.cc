@@ -26,6 +26,7 @@ int Main() {
   constexpr uint64_t kThreshold = 16 * 1024 * 1024;  // "Task memory" / 2.
   constexpr int kRowsPerWriter = 30000;
 
+  bench::BenchReporter reporter("ablation_memory_manager");
   TablePrinter table(
       {"writers", "manager", "peak buffered MB", "stripes/file"});
   for (int writers : {1, 4, 16}) {
@@ -61,9 +62,16 @@ int Main() {
       table.AddRow({std::to_string(writers), managed ? "on" : "off",
                     Mb(peak), bench::Fmt(
                         static_cast<double>(stripes) / writers, 1)});
+      std::string prefix = "writers_" + std::to_string(writers) +
+                           (managed ? ".managed." : ".unmanaged.");
+      reporter.AddMetric(prefix + "peak_buffered_bytes",
+                         static_cast<double>(peak), "bytes");
+      reporter.AddMetric(prefix + "stripes",
+                         static_cast<double>(stripes), "count");
     }
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: without the manager, peak memory grows with the "
               "writer count; with it, the total stays near the %s MB "
               "threshold (more, smaller stripes).\n",

@@ -28,6 +28,7 @@ int Main() {
   data.tiles_per_axis = 40;
   data.pixels_per_tile = 250;  // 400k rows.
 
+  bench::BenchReporter reporter("ablation_stripe_size");
   TablePrinter table({"stripe size", "file MB", "stripes", "scan read ops",
                       "scan ms"});
   for (uint64_t stripe_mb : {1, 4, 16, 64}) {
@@ -59,12 +60,23 @@ int Main() {
     table.AddRow({std::to_string(stripe_mb) + " MB", Mb(*fs.FileSize("/t")),
                   std::to_string(reader->tail().stripes.size()),
                   std::to_string(fs.stats().read_ops.load()), Fmt(ms, 0)});
+    std::string prefix = "stripe_" + std::to_string(stripe_mb) + "mb.";
+    reporter.AddMetric(prefix + "file_bytes",
+                       static_cast<double>(*fs.FileSize("/t")), "bytes");
+    reporter.AddMetric(prefix + "stripes",
+                       static_cast<double>(reader->tail().stripes.size()),
+                       "count");
+    reporter.AddMetric(prefix + "scan_read_ops",
+                       static_cast<double>(fs.stats().read_ops.load()),
+                       "count");
+    reporter.AddMetric(prefix + "scan_ms", ms, "ms");
     if (rows != data.TotalRows()) {
       std::fprintf(stderr, "row count mismatch\n");
       return 1;
     }
   }
   table.Print();
+  reporter.Write();
   std::printf("expected: larger stripes -> fewer stripes, fewer read ops, "
               "flat-or-better scan time.\n");
   return 0;

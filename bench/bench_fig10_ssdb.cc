@@ -65,6 +65,8 @@ int Main() {
       {"ORC File (PPD)", "cycle_orc", true},
   };
 
+  bench::BenchReporter reporter("fig10_ssdb");
+  const char* config_keys[3] = {"rcfile", "orc_noppd", "orc_ppd"};
   TablePrinter elapsed({"query", configs[0].label, configs[1].label,
                         configs[2].label});
   TablePrinter bytes({"query", configs[0].label, configs[1].label,
@@ -89,6 +91,10 @@ int Main() {
       bytes_read[v][c] = static_cast<double>(fs.stats().bytes_read.load());
       erow.push_back(Fmt(ms, 0) + " ms");
       brow.push_back(Mb(fs.stats().bytes_read.load()) + " MB");
+      std::string key = std::string(config_keys[c]) + "." +
+                        (variants[v].name + 2);  // Strip the "1." prefix.
+      reporter.AddMetric(key + ".elapsed_ms", ms, "ms");
+      reporter.AddMetric(key + ".bytes_read", bytes_read[v][c], "bytes");
       if (result.rows.size() != 1) {
         std::fprintf(stderr, "unexpected result size\n");
         return 1;
@@ -101,6 +107,7 @@ int Main() {
   elapsed.Print();
   std::printf("--- Figure 10(b): bytes read from the DFS ---\n");
   bytes.Print();
+  reporter.Write();
 
   std::printf("shape checks:\n");
   std::printf("  easy: PPD cuts ORC bytes by %.1fx (paper: 16.91GB -> 1.07GB)\n",

@@ -85,6 +85,18 @@ int Main() {
                     result.counters.combine_output_records.load()));
   }
 
+  bench::BenchReporter reporter("fig11a_q27");
+  const char* keys[2] = {"unmerged", "merged"};
+  for (int c = 0; c < 2; ++c) {
+    std::string prefix = std::string(keys[c]) + ".";
+    reporter.AddMetric(prefix + "elapsed_ms", elapsed[c], "ms");
+    reporter.AddMetric(prefix + "jobs", jobs[c], "count");
+    reporter.AddMetric(prefix + "map_only_jobs", map_only[c], "count");
+    reporter.AddMetric(prefix + "result_rows", static_cast<double>(rows[c]),
+                       "rows");
+  }
+  reporter.Write();
+
   std::printf("\nshape checks:\n");
   std::printf("  plans produce identical row counts: %s\n",
               rows[0] == rows[1] ? "yes" : "NO");

@@ -90,6 +90,17 @@ int Main() {
                     result.counters.combine_output_records.load()));
   }
 
+  bench::BenchReporter reporter("fig11b_q95");
+  const char* keys[3] = {"original", "co", "co_um"};
+  for (int c = 0; c < 3; ++c) {
+    std::string prefix = std::string(keys[c]) + ".";
+    reporter.AddMetric(prefix + "elapsed_ms", elapsed[c], "ms");
+    reporter.AddMetric(prefix + "jobs", jobs[c], "count");
+    reporter.AddMetric(prefix + "result_rows", static_cast<double>(rows[c]),
+                       "rows");
+  }
+  reporter.Write();
+
   std::printf("\nshape checks:\n");
   std::printf("  identical results across configs: %s\n",
               rows[0] == rows[1] && rows[1] == rows[2] ? "yes" : "NO");

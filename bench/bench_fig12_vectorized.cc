@@ -70,7 +70,8 @@ int Main() {
   std::printf("=== Figure 12: TPC-H Q1 & Q6 — row-mode vs vectorized ===\n\n");
 
   datagen::TpchOptions options;
-  options.lineitem_rows = 500000;
+  // Smoke mode (CI's bench-smoke job): ~10x smaller lineitem.
+  options.lineitem_rows = bench::SmokeScaled(500000, 50000);
   options.orders_rows = 1000;
   options.format = formats::FormatKind::kRcFile;
   Check(datagen::LoadTpch(&catalog, "rc", options), "rc data");
@@ -113,6 +114,24 @@ int Main() {
   cpu.AddRow({"TPC-H Q6", Fmt(q6[0].cpu_ms, 0), Fmt(q6[1].cpu_ms, 0),
               Fmt(q6[2].cpu_ms, 0)});
   cpu.Print();
+
+  bench::BenchReporter reporter("fig12_vectorized");
+  reporter.AddMetric("lineitem_rows", static_cast<double>(options.lineitem_rows),
+                     "rows");
+  reporter.AddMetric("q1_groups", static_cast<double>(q1[2].rows), "rows");
+  reporter.AddMetric("q6_rows", static_cast<double>(q6[2].rows), "rows");
+  const char* keys[3] = {"rcfile_row", "orc_row", "orc_vector"};
+  for (int c = 0; c < 3; ++c) {
+    reporter.AddMetric(std::string("q1.") + keys[c] + ".elapsed_ms",
+                       q1[c].elapsed_ms, "ms");
+    reporter.AddMetric(std::string("q1.") + keys[c] + ".cpu_ms", q1[c].cpu_ms,
+                       "ms");
+    reporter.AddMetric(std::string("q6.") + keys[c] + ".elapsed_ms",
+                       q6[c].elapsed_ms, "ms");
+    reporter.AddMetric(std::string("q6.") + keys[c] + ".cpu_ms", q6[c].cpu_ms,
+                       "ms");
+  }
+  reporter.Write();
 
   std::printf("shape checks:\n");
   std::printf("  Q1 returns 6 groups everywhere: %s\n",

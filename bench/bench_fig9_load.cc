@@ -70,6 +70,7 @@ int Main() {
        codec::CompressionKind::kFastLz},
   };
 
+  bench::BenchReporter reporter("fig9_load");
   double load_ms[4][3];
   TablePrinter table({"", "SS-DB", "TPC-H", "TPC-DS"});
   for (size_t c = 0; c < configs.size(); ++c) {
@@ -83,10 +84,16 @@ int Main() {
       }
       load_ms[c][w] = watch.ElapsedMillis();
       row.push_back(Fmt(load_ms[c][w], 0));
+      std::string key = configs[c].suffix.substr(2) + "." + workloads[w].name;
+      for (char& ch : key) {
+        if (ch == '-') ch = '_';
+      }
+      reporter.AddMetric(key + ".load_ms", load_ms[c][w], "ms");
     }
     table.AddRow(row);
   }
   table.Print();
+  reporter.Write();
 
   std::printf("shape checks:\n");
   double orc_vs_rc_tpch = load_ms[2][1] / load_ms[0][1];

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "codec/codec.h"
 #include "common/random.h"
 #include "exec/expr.h"
@@ -195,7 +196,63 @@ void BM_SerializeKey(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeKey);
 
+/// Console reporter that also stashes each run for the JSON report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) runs_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+int Main(int argc, char** argv) {
+  // Smoke mode: shrink the per-benchmark measuring time so CI finishes in
+  // seconds; kernels still run enough iterations to report sane rates.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (bench::SmokeMode()) args.push_back(min_time.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+
+  CapturingReporter capture;
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  benchmark::Shutdown();
+
+  bench::BenchReporter reporter("micro_kernels");
+  reporter.AddMetric("benchmarks_run",
+                     static_cast<double>(capture.runs().size()), "count");
+  for (const auto& run : capture.runs()) {
+    if (run.error_occurred) continue;
+    std::string name = run.benchmark_name();
+    reporter.AddMetric(name + ".real_time_ns", run.GetAdjustedRealTime(),
+                       "ns");
+    double items = run.counters.find("items_per_second") != run.counters.end()
+                       ? static_cast<double>(
+                             run.counters.at("items_per_second"))
+                       : 0.0;
+    if (items > 0) {
+      reporter.AddMetric(name + ".items_per_second", items, "rate");
+    }
+    double bytes = run.counters.find("bytes_per_second") != run.counters.end()
+                       ? static_cast<double>(
+                             run.counters.at("bytes_per_second"))
+                       : 0.0;
+    if (bytes > 0) {
+      reporter.AddMetric(name + ".bytes_per_second", bytes, "rate");
+    }
+  }
+  reporter.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace minihive
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return minihive::Main(argc, argv); }

@@ -31,7 +31,9 @@ using bench::Fmt;
 using bench::Mb;
 using bench::TablePrinter;
 
-constexpr uint64_t kRecords = 1'200'000;
+// Smoke mode (MINIHIVE_BENCH_SMOKE, CI's bench-smoke job) shrinks the
+// workload ~20x; the shape checks and the report pipeline stay identical.
+const uint64_t kRecords = bench::SmokeScaled<uint64_t>(1'200'000, 60'000);
 constexpr int kRuns = 16;  // Map tasks feeding one reduce partition.
 
 struct Record {
@@ -153,6 +155,7 @@ class SkewMapTask : public mr::MapTask {
           {Value::Int(key)},
           {Value::Int(static_cast<int64_t>(i)), Value::Int(1)}, 0));
     }
+    CountInputRecords(split.length);
     return Status::OK();
   }
 };
@@ -283,6 +286,17 @@ int Main() {
   std::printf("  shuffled bytes: %s MB -> %s MB\n",
               Mb(without.shuffled_bytes.load()).c_str(),
               Mb(with.shuffled_bytes.load()).c_str());
+
+  bench::BenchReporter reporter("micro_shuffle");
+  reporter.AddMetric("records", static_cast<double>(kRecords), "rows");
+  reporter.AddMetric("groups", static_cast<double>(merge_walker.groups),
+                     "count");
+  reporter.AddMetric("full_sort_ms", full_sort_ms, "ms");
+  reporter.AddMetric("run_sort_ms", run_sort_ms, "ms");
+  reporter.AddMetric("kway_merge_ms", merge_ms, "ms");
+  reporter.AddJobCounters("combiner_off", without);
+  reporter.AddJobCounters("combiner_on", with);
+  reporter.Write();
 
   bool merge_wins = merge_ms < full_sort_ms;
   bool combiner_shrinks =

@@ -124,6 +124,24 @@ int Main() {
     orc[i] = WorkloadBytes(&catalog, workloads[i], "__orc");
     orcz[i] = WorkloadBytes(&catalog, workloads[i], "__orcz");
   }
+  bench::BenchReporter reporter("table2_storage");
+  const char* workload_keys[3] = {"ssdb", "tpch", "tpcds"};
+  for (int i = 0; i < 3; ++i) {
+    uint64_t text = WorkloadBytes(&catalog, workloads[i], "");
+    std::string prefix = std::string(workload_keys[i]) + ".";
+    reporter.AddMetric(prefix + "text_bytes", static_cast<double>(text),
+                       "bytes");
+    reporter.AddMetric(prefix + "rcfile_bytes", static_cast<double>(rc[i]),
+                       "bytes");
+    reporter.AddMetric(prefix + "rcfile_fastlz_bytes",
+                       static_cast<double>(rcz[i]), "bytes");
+    reporter.AddMetric(prefix + "orc_bytes", static_cast<double>(orc[i]),
+                       "bytes");
+    reporter.AddMetric(prefix + "orc_fastlz_bytes",
+                       static_cast<double>(orcz[i]), "bytes");
+  }
+  reporter.Write();
+
   std::printf("shape checks:\n");
   for (int i = 0; i < 3; ++i) {
     std::printf("  [%s] ORC < RCFile: %s   ORC+z < RCFile+z: %s\n",

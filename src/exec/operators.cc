@@ -48,11 +48,52 @@ std::string SerializeKey(const Row& key) {
   return out;
 }
 
+OperatorStats* PipelineProfile::ForOp(const OpDesc* desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(desc->id);
+  if (it == stats_.end()) {
+    it = stats_.emplace(desc->id, std::make_unique<OperatorStats>()).first;
+    labels_[desc->id] =
+        std::string(OpKindName(desc->kind)) + "#" + std::to_string(desc->id);
+  }
+  return it->second.get();
+}
+
+std::vector<PipelineProfile::Entry> PipelineProfile::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(stats_.size());
+  for (const auto& [id, stats] : stats_) {
+    Entry entry;
+    entry.op_id = id;
+    auto label_it = labels_.find(id);
+    if (label_it != labels_.end()) entry.label = label_it->second;
+    entry.rows_in = stats->rows_in.load(std::memory_order_relaxed);
+    entry.rows_out = stats->rows_out.load(std::memory_order_relaxed);
+    entry.batches = stats->batches.load(std::memory_order_relaxed);
+    entry.nanos = stats->nanos.load(std::memory_order_relaxed);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void PipelineProfile::AttachToSpan(telemetry::Span* parent) const {
+  if (parent == nullptr) return;
+  for (const Entry& entry : Snapshot()) {
+    telemetry::Span* op_span = parent->StartChild("op:" + entry.label);
+    op_span->SetAttr("rows_in", entry.rows_in);
+    op_span->SetAttr("rows_out", entry.rows_out);
+    if (entry.batches > 0) op_span->SetAttr("batches", entry.batches);
+    op_span->set_duration_nanos(entry.nanos);
+  }
+}
+
 Status Operator::Init(TaskContext* ctx) {
   // Shared nodes (below a Mux) are reached from several parents; Init once.
   if (init_done_) return Status::OK();
   init_done_ = true;
   ctx_ = ctx;
+  if (ctx->profile != nullptr) stats_ = ctx->profile->ForOp(desc_);
   for (Operator* child : children_) {
     MINIHIVE_RETURN_IF_ERROR(child->Init(ctx));
   }
@@ -89,7 +130,7 @@ namespace {
 class TableScanOperator : public Operator {
  public:
   using Operator::Operator;
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     return ForwardRow(row, tag);
   }
 };
@@ -99,7 +140,7 @@ class TableScanOperator : public Operator {
 class FilterOperator : public Operator {
  public:
   using Operator::Operator;
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     Value v = desc_->predicate->Eval(row);
     if (!v.is_null() && v.AsBool()) {
       return ForwardRow(row, tag);
@@ -113,7 +154,7 @@ class FilterOperator : public Operator {
 class SelectOperator : public Operator {
  public:
   using Operator::Operator;
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     Row out;
     out.reserve(desc_->projections.size());
     for (const ExprPtr& e : desc_->projections) {
@@ -128,7 +169,7 @@ class SelectOperator : public Operator {
 class LimitOperator : public Operator {
  public:
   using Operator::Operator;
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     if (desc_->limit >= 0 && seen_ >= desc_->limit) return Status::OK();
     ++seen_;
     return ForwardRow(row, tag);
@@ -153,7 +194,7 @@ class GroupByOperator : public Operator {
     return Status::OK();
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     (void)tag;
     if (desc_->group_by_mode == GroupByMode::kHash) {
       Row key;
@@ -303,7 +344,7 @@ class JoinOperator : public Operator {
     return Status::OK();
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     if (tag < 0 || tag >= desc_->join_num_inputs) {
       return Status::Internal("join tag out of range");
     }
@@ -400,7 +441,7 @@ class MapJoinOperator : public Operator {
     return Status::OK();
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     (void)tag;
     // Output layout mirrors the reduce join this operator replaced:
     // keys ++ values(tag 0) ++ values(tag 1) ++ ... with the big side's
@@ -484,7 +525,7 @@ class ReduceSinkOperator : public Operator {
     return Status::OK();
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     (void)tag;
     Row key;
     key.reserve(desc_->sink_keys.size());
@@ -508,7 +549,7 @@ class FileSinkOperator : public Operator {
     return Status::OK();
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     (void)tag;
     if (writer_ == nullptr) {
       // Lazy creation: tasks that produce no rows write no file.
@@ -545,7 +586,7 @@ class DemuxOperator : public Operator {
  public:
   using Operator::Operator;
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     if (tag < 0 || static_cast<size_t>(tag) >= desc_->demux_routes.size()) {
       return Status::Internal("demux: unknown new tag " + std::to_string(tag));
     }
@@ -570,6 +611,11 @@ class MuxOperator : public Operator {
   void set_num_parents(int n) { num_parents_ = n; }
 
   Status ProcessFrom(int parent_index, const Row& row, int tag) {
+    // Rows arrive through per-edge proxies, bypassing the base Process
+    // wrapper; count them against the shared mux core here.
+    if (stats_ != nullptr) {
+      stats_->rows_in.fetch_add(1, std::memory_order_relaxed);
+    }
     int out_tag = tag;
     if (static_cast<size_t>(parent_index) < desc_->mux_parent_tags.size() &&
         desc_->mux_parent_tags[parent_index] >= 0) {
@@ -578,7 +624,7 @@ class MuxOperator : public Operator {
     return ForwardRow(row, out_tag);
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     // Direct Process means a single-parent Mux.
     return ProcessFrom(0, row, tag);
   }
@@ -619,7 +665,7 @@ class MuxInputProxy : public Operator {
     return mux_->Init(ctx);
   }
 
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     return mux_->ProcessFrom(parent_index_, row, tag);
   }
   Status StartGroup() override { return mux_->StartGroup(); }

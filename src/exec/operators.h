@@ -1,16 +1,60 @@
 #ifndef MINIHIVE_EXEC_OPERATORS_H_
 #define MINIHIVE_EXEC_OPERATORS_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "dfs/file_system.h"
 #include "exec/plan.h"
 #include "mr/engine.h"
 
 namespace minihive::exec {
+
+/// Per-operator runtime statistics, accumulated across every task of a job
+/// that instantiates the operator (tasks run on worker threads, hence the
+/// atomics). `nanos` is inclusive of children — the push model means a
+/// parent's Process frame contains its children's work, exactly like Hive's
+/// per-operator wall times.
+struct OperatorStats {
+  std::atomic<uint64_t> rows_in{0};
+  std::atomic<uint64_t> rows_out{0};
+  std::atomic<uint64_t> batches{0};  // Vectorized pipelines only.
+  std::atomic<int64_t> nanos{0};
+};
+
+/// Shared per-job sink for operator statistics, keyed by OpDesc id. One
+/// instance per job, handed to every task through TaskContext; operators
+/// resolve their slot once at Init and then update it wait-free.
+class PipelineProfile {
+ public:
+  OperatorStats* ForOp(const OpDesc* desc);
+
+  struct Entry {
+    int op_id = 0;
+    std::string label;  // "<OpKind>#<id>".
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+    uint64_t batches = 0;
+    int64_t nanos = 0;
+  };
+  /// Snapshot in op-id order.
+  std::vector<Entry> Snapshot() const;
+
+  /// Appends one child span per operator to `parent`, carrying the stats as
+  /// attributes and the accumulated nanos as the span duration.
+  void AttachToSpan(telemetry::Span* parent) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, std::unique_ptr<OperatorStats>> stats_;
+  std::map<int, std::string> labels_;
+};
 
 /// A built map-join hash table: join key (serialized) -> build-value rows.
 struct MapJoinHashTable {
@@ -48,11 +92,21 @@ struct TaskContext {
   const std::unordered_map<int, std::shared_ptr<MapJoinTables>>*
       mapjoin_tables = nullptr;
   int reader_host = -1;
+  /// Per-operator profiling sink (EnableProfiling). Null = profiling off:
+  /// the per-row cost is then a single predictable branch.
+  PipelineProfile* profile = nullptr;
+  /// Attempt-local job counters; the pipeline that reads the split reports
+  /// input records here (the engine cannot see them otherwise).
+  mr::JobCounters* counters = nullptr;
 };
 
 /// Base runtime operator. The push-based model from Hive: parents call
 /// Process on children; group-boundary signals propagate the same way
 /// (paper §5.2.2).
+///
+/// Process is a non-virtual wrapper so profiling (rows in / inclusive
+/// nanos) instruments every operator uniformly; subclasses implement
+/// DoProcess. With profiling off the wrapper is one null-check.
 class Operator {
  public:
   explicit Operator(const OpDesc* desc) : desc_(desc) {}
@@ -63,14 +117,29 @@ class Operator {
 
   /// Called once per task before any rows.
   virtual Status Init(TaskContext* ctx);
-  virtual Status Process(const Row& row, int tag) = 0;
+
+  Status Process(const Row& row, int tag) {
+    if (stats_ == nullptr) return DoProcess(row, tag);
+    stats_->rows_in.fetch_add(1, std::memory_order_relaxed);
+    int64_t start = telemetry::MonotonicNanos();
+    Status s = DoProcess(row, tag);
+    stats_->nanos.fetch_add(telemetry::MonotonicNanos() - start,
+                            std::memory_order_relaxed);
+    return s;
+  }
+
   virtual Status StartGroup();
   virtual Status EndGroup();
   /// End of task: flush state, then propagate.
   virtual Status Finish();
 
  protected:
+  virtual Status DoProcess(const Row& row, int tag) = 0;
+
   Status ForwardRow(const Row& row, int tag = 0) {
+    if (stats_ != nullptr) {
+      stats_->rows_out.fetch_add(1, std::memory_order_relaxed);
+    }
     for (Operator* child : children_) {
       MINIHIVE_RETURN_IF_ERROR(child->Process(row, tag));
     }
@@ -80,6 +149,7 @@ class Operator {
   const OpDesc* desc_;
   std::vector<Operator*> children_;
   TaskContext* ctx_ = nullptr;
+  OperatorStats* stats_ = nullptr;  // Null when profiling is off.
   bool init_done_ = false;
 };
 

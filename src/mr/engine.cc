@@ -181,12 +181,29 @@ Engine::Engine(dfs::FileSystem* fs, EngineOptions options)
     : fs_(fs), options_(options) {}
 
 Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
+  // Tracing: one span per job, one per task attempt. Spans are opened from
+  // worker threads (StartChild is thread-safe); the job's counters fold
+  // into the job span as attributes once the phases complete.
+  telemetry::Span* job_span =
+      job.parent_span != nullptr
+          ? job.parent_span->StartChild("job:" + job.name)
+          : nullptr;
   if (options_.job_startup_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.job_startup_ms));
   }
   counters->map_tasks = static_cast<int>(job.splits.size());
   counters->reduce_tasks = job.num_reducers;
+
+  // Folds counters into the job span and closes it on every exit path.
+  auto finish_job = [&](Status s) -> Status {
+    if (job_span != nullptr) {
+      counters->ExportToSpan(job_span);
+      if (!s.ok()) job_span->SetAttr("error", s.ToString());
+      job_span->End();
+    }
+    return s;
+  };
 
   // ---- Map phase: run the map task, then form this task's sorted
   // (and combined) runs while still on the worker thread — the expensive
@@ -202,18 +219,33 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         Status s;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
           Stopwatch attempt_watch;
+          telemetry::Span* attempt_span =
+              job_span != nullptr
+                  ? job_span->StartChild("map[" + std::to_string(index) + "]")
+                  : nullptr;
           // Attempt-local counters, merged only on success: a retried
           // attempt must never double-count records.
           JobCounters local;
           auto emitter =
               std::make_unique<PartitionedEmitter>(num_partitions, &local);
           std::unique_ptr<MapTask> task = job.map_factory();
+          task->set_attempt_counters(&local);
           s = task->Run(job.splits[index], index, attempt, emitter.get());
           if (s.ok() && job.num_reducers > 0) {
             s = SortAndCombineRuns(emitter.get(), job, &local);
           }
           if (s.ok() && job.commit_task) {
             s = job.commit_task(TaskKind::kMap, index, attempt);
+          }
+          if (attempt_span != nullptr) {
+            attempt_span->SetAttr("attempt", static_cast<int64_t>(attempt));
+            attempt_span->SetAttr("split", job.splits[index].path);
+            attempt_span->SetAttr("records_in",
+                                  local.map_input_records.load());
+            attempt_span->SetAttr("records_out",
+                                  local.map_output_records.load());
+            if (!s.ok()) attempt_span->SetAttr("error", s.ToString());
+            attempt_span->End();
           }
           if (s.ok()) {
             local.AccumulateTaskLocalInto(counters);
@@ -234,12 +266,13 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         }
         return s;
       });
-  MINIHIVE_RETURN_IF_ERROR(status);
+  if (!status.ok()) return finish_job(status);
   counters->map_phase_millis = map_watch.ElapsedMillis();
 
-  if (job.num_reducers == 0) return Status::OK();
+  if (job.num_reducers == 0) return finish_job(Status::OK());
   if (!job.reduce_factory) {
-    return Status::InvalidArgument("job has reducers but no reduce factory");
+    return finish_job(
+        Status::InvalidArgument("job has reducers but no reduce factory"));
   }
 
   // ---- Shuffle + reduce phase (starts after the whole map phase). Each
@@ -268,6 +301,11 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         Status s;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
           Stopwatch attempt_watch;
+          telemetry::Span* attempt_span =
+              job_span != nullptr
+                  ? job_span->StartChild("reduce[" +
+                                         std::to_string(partition) + "]")
+                  : nullptr;
           JobCounters local;
           std::vector<RunCursor> heap;
           heap.reserve(emitters.size());
@@ -300,6 +338,13 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
           if (s.ok() && job.commit_task) {
             s = job.commit_task(TaskKind::kReduce, partition, attempt);
           }
+          if (attempt_span != nullptr) {
+            attempt_span->SetAttr("attempt", static_cast<int64_t>(attempt));
+            attempt_span->SetAttr("records_in",
+                                  local.reduce_input_records.load());
+            if (!s.ok()) attempt_span->SetAttr("error", s.ToString());
+            attempt_span->End();
+          }
           if (s.ok()) {
             local.AccumulateTaskLocalInto(counters);
             // Release this partition's runs only after a successful attempt
@@ -329,9 +374,9 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         }
         return s;
       });
-  MINIHIVE_RETURN_IF_ERROR(status);
+  if (!status.ok()) return finish_job(status);
   counters->reduce_phase_millis = reduce_watch.ElapsedMillis();
-  return Status::OK();
+  return finish_job(Status::OK());
 }
 
 Result<std::vector<InputSplit>> ComputeSplits(

@@ -1,6 +1,7 @@
 #ifndef MINIHIVE_MR_ENGINE_H_
 #define MINIHIVE_MR_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -10,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/value.h"
 #include "dfs/file_system.h"
 
@@ -30,6 +32,12 @@ struct InputSplit {
 
 /// Aggregate job counters, mirroring the metrics the paper reports:
 /// elapsed time per phase and cumulative task CPU time (Figure 12b).
+///
+/// Every field is registered exactly once in the field tables below
+/// (atomic_u64_fields / atomic_i64_fields / int_fields / double_fields);
+/// copying, accumulation and span/JSON export all iterate those tables, so
+/// a new field cannot silently miss operator= or the telemetry fold. A
+/// static_assert on sizeof catches a field added without a table entry.
 struct JobCounters {
   std::atomic<uint64_t> map_input_records{0};
   std::atomic<uint64_t> map_output_records{0};
@@ -56,26 +64,55 @@ struct JobCounters {
   double map_phase_millis = 0;
   double reduce_phase_millis = 0;
 
+  // ---- Field tables: the single source of truth for "all fields". ----
+  template <typename T>
+  struct NamedField {
+    const char* name;
+    T JobCounters::*member;
+  };
+
+  static constexpr std::array<NamedField<std::atomic<uint64_t>>, 8>
+  atomic_u64_fields() {
+    return {{{"map_input_records", &JobCounters::map_input_records},
+             {"map_output_records", &JobCounters::map_output_records},
+             {"reduce_input_records", &JobCounters::reduce_input_records},
+             {"shuffled_bytes", &JobCounters::shuffled_bytes},
+             {"combine_input_records", &JobCounters::combine_input_records},
+             {"combine_output_records", &JobCounters::combine_output_records},
+             {"map_task_failures", &JobCounters::map_task_failures},
+             {"reduce_task_failures", &JobCounters::reduce_task_failures}}};
+  }
+
+  static constexpr std::array<NamedField<std::atomic<int64_t>>, 3>
+  atomic_i64_fields() {
+    return {{{"cpu_nanos", &JobCounters::cpu_nanos},
+             {"shuffle_sort_nanos", &JobCounters::shuffle_sort_nanos},
+             {"retried_task_nanos", &JobCounters::retried_task_nanos}}};
+  }
+
+  static constexpr std::array<NamedField<int>, 2> int_fields() {
+    return {{{"map_tasks", &JobCounters::map_tasks},
+             {"reduce_tasks", &JobCounters::reduce_tasks}}};
+  }
+
+  static constexpr std::array<NamedField<double>, 2> double_fields() {
+    return {{{"map_phase_millis", &JobCounters::map_phase_millis},
+             {"reduce_phase_millis", &JobCounters::reduce_phase_millis}}};
+  }
+
   JobCounters() = default;
   // Copyable despite the atomics (snapshot semantics) so results structs
   // can carry counters by value.
   JobCounters(const JobCounters& other) { *this = other; }
   JobCounters& operator=(const JobCounters& other) {
-    map_input_records = other.map_input_records.load();
-    map_output_records = other.map_output_records.load();
-    reduce_input_records = other.reduce_input_records.load();
-    shuffled_bytes = other.shuffled_bytes.load();
-    combine_input_records = other.combine_input_records.load();
-    combine_output_records = other.combine_output_records.load();
-    cpu_nanos = other.cpu_nanos.load();
-    shuffle_sort_nanos = other.shuffle_sort_nanos.load();
-    map_task_failures = other.map_task_failures.load();
-    reduce_task_failures = other.reduce_task_failures.load();
-    retried_task_nanos = other.retried_task_nanos.load();
-    map_tasks = other.map_tasks;
-    reduce_tasks = other.reduce_tasks;
-    map_phase_millis = other.map_phase_millis;
-    reduce_phase_millis = other.reduce_phase_millis;
+    for (const auto& f : atomic_u64_fields()) {
+      this->*f.member = (other.*f.member).load();
+    }
+    for (const auto& f : atomic_i64_fields()) {
+      this->*f.member = (other.*f.member).load();
+    }
+    for (const auto& f : int_fields()) this->*f.member = other.*f.member;
+    for (const auto& f : double_fields()) this->*f.member = other.*f.member;
     return *this;
   }
 
@@ -87,29 +124,51 @@ struct JobCounters {
   /// Thread-safe: this is how a successful task attempt publishes its
   /// attempt-local counters from a worker thread.
   void AccumulateTaskLocalInto(JobCounters* total) const {
-    total->map_input_records += map_input_records.load();
-    total->map_output_records += map_output_records.load();
-    total->reduce_input_records += reduce_input_records.load();
-    total->shuffled_bytes += shuffled_bytes.load();
-    total->combine_input_records += combine_input_records.load();
-    total->combine_output_records += combine_output_records.load();
-    total->cpu_nanos += cpu_nanos.load();
-    total->shuffle_sort_nanos += shuffle_sort_nanos.load();
-    total->map_task_failures += map_task_failures.load();
-    total->reduce_task_failures += reduce_task_failures.load();
-    total->retried_task_nanos += retried_task_nanos.load();
+    for (const auto& f : atomic_u64_fields()) {
+      total->*f.member += (this->*f.member).load();
+    }
+    for (const auto& f : atomic_i64_fields()) {
+      total->*f.member += (this->*f.member).load();
+    }
   }
 
   /// Full merge including the coordinator-owned scalar fields (task counts,
   /// phase times). NOT thread-safe; single-threaded aggregation only.
   void AccumulateInto(JobCounters* total) const {
     AccumulateTaskLocalInto(total);
-    total->map_tasks += map_tasks;
-    total->reduce_tasks += reduce_tasks;
-    total->map_phase_millis += map_phase_millis;
-    total->reduce_phase_millis += reduce_phase_millis;
+    for (const auto& f : int_fields()) total->*f.member += this->*f.member;
+    for (const auto& f : double_fields()) {
+      total->*f.member += this->*f.member;
+    }
+  }
+
+  /// Folds every counter into `span` as span attributes — the job span
+  /// carries the full counter set instead of a parallel bespoke report.
+  void ExportToSpan(telemetry::Span* span) const {
+    if (span == nullptr) return;
+    for (const auto& f : atomic_u64_fields()) {
+      span->SetAttr(f.name, (this->*f.member).load());
+    }
+    for (const auto& f : atomic_i64_fields()) {
+      span->SetAttr(f.name, (this->*f.member).load());
+    }
+    for (const auto& f : int_fields()) {
+      span->SetAttr(f.name, static_cast<int64_t>(this->*f.member));
+    }
+    for (const auto& f : double_fields()) {
+      span->SetAttr(f.name, this->*f.member);
+    }
   }
 };
+
+// Trips when a field is added to JobCounters without a field-table entry
+// (the tables drive operator=, accumulation and telemetry export). Update
+// the matching *_fields() table above, then adjust the expected size.
+static_assert(sizeof(void*) != 8 ||
+                  sizeof(JobCounters) ==
+                      8 * (8 + 3) +  // atomic u64/i64 fields
+                          2 * sizeof(int) + 2 * sizeof(double),
+              "JobCounters changed: update the field tables in engine.h");
 
 /// Map tasks emit (key, value, tag) triples into the shuffle.
 class ShuffleEmitter {
@@ -130,6 +189,26 @@ class MapTask {
   /// only when the attempt succeeds.
   virtual Status Run(const InputSplit& split, int task_index, int attempt,
                      ShuffleEmitter* emitter) = 0;
+
+  /// The engine points this at the attempt-local counters before Run. The
+  /// task reads its own split, so input records can only be counted here;
+  /// the engine folds them into the job totals on success (a retried
+  /// attempt never double-counts). Null outside the engine (direct test
+  /// invocations) — CountInputRecords is a no-op then.
+  void set_attempt_counters(JobCounters* counters) {
+    attempt_counters_ = counters;
+  }
+
+ protected:
+  void CountInputRecords(uint64_t n) {
+    if (attempt_counters_ != nullptr) {
+      attempt_counters_->map_input_records += n;
+    }
+  }
+  JobCounters* attempt_counters() { return attempt_counters_; }
+
+ private:
+  JobCounters* attempt_counters_ = nullptr;
 };
 
 /// User reduce logic, driven push-style by the engine's Reducer Driver:
@@ -189,6 +268,10 @@ struct JobConfig {
   /// Output promotion hooks (both optional).
   TaskCommitFn commit_task;
   TaskAbortFn abort_task;
+  /// When set, the engine opens a "job:<name>" trace span under this parent,
+  /// a child span per task attempt, and folds the job's counters into the
+  /// job span as attributes. Null = no tracing (zero overhead).
+  telemetry::Span* parent_span = nullptr;
 };
 
 struct EngineOptions {

@@ -4,11 +4,29 @@
 #include <map>
 
 #include "common/crc32.h"
+#include "common/telemetry.h"
 #include "orc/stream_encoding.h"
 
 namespace minihive::orc {
 
 namespace {
+
+// Process-wide I/O counters (resolved once; registry pointers are stable).
+telemetry::Counter* DataBytesRead() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.data_bytes_read");
+  return c;
+}
+telemetry::Counter* IndexBytesRead() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.index_bytes_read");
+  return c;
+}
+telemetry::Counter* TailBytesRead() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.tail_bytes_read");
+  return c;
+}
 
 /// A maximal run of consecutive selected index groups [first, last].
 struct GroupRun {
@@ -46,6 +64,7 @@ class StreamReader {
     std::string stored;
     if (length > 0) {
       MINIHIVE_RETURN_IF_ERROR(file->ReadAt(file_start, length, &stored, host));
+      DataBytesRead()->Add(length);
     }
     if (verify) {
       MINIHIVE_RETURN_IF_ERROR(VerifyCrc(stored, expected_crc, "stream"));
@@ -166,6 +185,7 @@ class StreamReader {
     if (end > start) {
       MINIHIVE_RETURN_IF_ERROR(
           file_->ReadAt(file_start_ + start, end - start, &run_buf_, host_));
+      DataBytesRead()->Add(end - start);
     }
     run_base_ = start;
     run_first_ = run->first;
@@ -288,6 +308,9 @@ class OrcReader::Impl {
       if (sarg_active &&
           options_.sarg->CanSkip(TopLevelStats(tail_.stripe_stats[s]))) {
         ++stripes_skipped_;
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("orc.reader.stripes_skipped")
+            ->Increment();
         continue;
       }
       selected_stripes_.push_back(s);
@@ -355,6 +378,7 @@ class OrcReader::Impl {
     std::string tail_bytes;
     MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(size - probe, probe, &tail_bytes,
                                            options_.reader_host));
+    TailBytesRead()->Add(probe);
     uint8_t ps_len = static_cast<uint8_t>(tail_bytes.back());
     if (ps_len + 1 > static_cast<int>(tail_bytes.size())) {
       return Status::Corruption("postscript larger than probe");
@@ -394,6 +418,7 @@ class OrcReader::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(footer_off, footer_len,
                                            &footer_stored,
                                            options_.reader_host));
+    TailBytesRead()->Add(footer_len);
     if (options_.verify_checksums) {
       MINIHIVE_RETURN_IF_ERROR(
           VerifyCrc(footer_stored, tail_.footer_crc, "file footer"));
@@ -408,6 +433,7 @@ class OrcReader::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(metadata_off, metadata_len,
                                            &metadata_stored,
                                            options_.reader_host));
+    TailBytesRead()->Add(metadata_len);
     if (options_.verify_checksums) {
       MINIHIVE_RETURN_IF_ERROR(
           VerifyCrc(metadata_stored, tail_.metadata_crc, "file metadata"));
@@ -454,12 +480,16 @@ class OrcReader::Impl {
   Status LoadStripe(size_t stripe_index) {
     const StripeInformation& info = tail_.stripes[stripe_index];
     ++stripes_read_;
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("orc.reader.stripes_read")
+        ->Increment();
     // Stripe footer.
     std::string footer_stored;
     MINIHIVE_RETURN_IF_ERROR(
         file_->ReadAt(info.offset + info.index_length + info.data_length,
                       info.footer_length, &footer_stored,
                       options_.reader_host));
+    TailBytesRead()->Add(info.footer_length);
     if (options_.verify_checksums) {
       MINIHIVE_RETURN_IF_ERROR(
           VerifyCrc(footer_stored, info.footer_crc, "stripe footer"));
@@ -483,6 +513,7 @@ class OrcReader::Impl {
       MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(info.offset, info.index_length,
                                              &index_stored,
                                              options_.reader_host));
+      IndexBytesRead()->Add(info.index_length);
       if (options_.verify_checksums) {
         MINIHIVE_RETURN_IF_ERROR(
             VerifyCrc(index_stored, info.index_crc, "stripe index"));
@@ -500,6 +531,9 @@ class OrcReader::Impl {
         }
         if (options_.sarg->CanSkip(field_stats)) {
           ++groups_skipped_;
+          telemetry::MetricsRegistry::Global()
+              .GetCounter("orc.reader.groups_skipped")
+              ->Increment();
         } else {
           selected_groups_.push_back(g);
         }
@@ -520,6 +554,9 @@ class OrcReader::Impl {
       }
     }
     groups_read_ += selected_groups_.size();
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("orc.reader.groups_read")
+        ->Add(selected_groups_.size());
 
     // Wire up stream readers for needed columns.
     std::vector<ColumnNode*> nodes;

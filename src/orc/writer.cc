@@ -5,12 +5,30 @@
 #include <unordered_map>
 
 #include "common/crc32.h"
+#include "common/telemetry.h"
 #include "orc/layout.h"
 #include "orc/stream_encoding.h"
 
 namespace minihive::orc {
 
 namespace {
+
+/// Counts every compression pass through the writer (raw bytes in, stored
+/// bytes out). Same signature as codec::CompressToUnits, which it wraps.
+Status CountedCompress(const codec::Codec* codec, std::string_view raw,
+                       uint64_t unit_size, std::string* out) {
+  static telemetry::Counter* in_bytes =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "orc.writer.compress_in_bytes");
+  static telemetry::Counter* out_bytes =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "orc.writer.compress_out_bytes");
+  size_t before = out->size();
+  MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(codec, raw, unit_size, out));
+  in_bytes->Add(raw.size());
+  out_bytes->Add(out->size() - before);
+  return Status::OK();
+}
 
 /// Per-column stripe buffer. One instance per node of the column tree;
 /// buffers raw values for the open stripe and records group boundaries.
@@ -382,8 +400,8 @@ class OrcWriter::Impl {
       default:
         return Status::Internal("EncodeSegment on stripe-scoped stream");
     }
-    return codec::CompressToUnits(codec_, raw, options_.compression_unit_size,
-                                  stream_out);
+    return CountedCompress(codec_, raw, options_.compression_unit_size,
+                           stream_out);
   }
 
   Status FlushStripe() {
@@ -469,7 +487,7 @@ class OrcWriter::Impl {
             }
             enc.Finish(&raw);
           }
-          MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(
+          MINIHIVE_RETURN_IF_ERROR(CountedCompress(
               codec_, raw, options_.compression_unit_size, &stream_bytes));
           ends.push_back(stream_bytes.size());
         } else {
@@ -506,11 +524,11 @@ class OrcWriter::Impl {
     // Serialize + compress the index and footer sections.
     std::string index_raw, index_bytes;
     index.Serialize(&index_raw);
-    MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(
+    MINIHIVE_RETURN_IF_ERROR(CountedCompress(
         codec_, index_raw, options_.compression_unit_size, &index_bytes));
     std::string footer_raw, footer_bytes;
     footer.Serialize(&footer_raw);
-    MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(
+    MINIHIVE_RETURN_IF_ERROR(CountedCompress(
         codec_, footer_raw, options_.compression_unit_size, &footer_bytes));
 
     uint64_t stripe_length =
@@ -532,6 +550,12 @@ class OrcWriter::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->Append(index_bytes));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(data));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(footer_bytes));
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("orc.writer.stripes_written")
+        ->Increment();
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("orc.writer.bytes_written")
+        ->Add(stripe_length);
     stripes_.push_back(info);
     stripe_stats_.push_back(stripe_stats);
     for (size_t c = 0; c < columns.size(); ++c) {
@@ -557,11 +581,11 @@ class OrcWriter::Impl {
 
     std::string metadata_raw, metadata_bytes;
     SerializeFileMetadata(tail, &metadata_raw);
-    MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(
+    MINIHIVE_RETURN_IF_ERROR(CountedCompress(
         codec_, metadata_raw, options_.compression_unit_size, &metadata_bytes));
     std::string footer_raw, footer_bytes;
     SerializeFileFooter(tail, &footer_raw);
-    MINIHIVE_RETURN_IF_ERROR(codec::CompressToUnits(
+    MINIHIVE_RETURN_IF_ERROR(CountedCompress(
         codec_, footer_raw, options_.compression_unit_size, &footer_bytes));
 
     // Postscript (uncompressed): footer length, metadata length, codec,
@@ -582,6 +606,10 @@ class OrcWriter::Impl {
     MINIHIVE_RETURN_IF_ERROR(file_->Append(metadata_bytes));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(footer_bytes));
     MINIHIVE_RETURN_IF_ERROR(file_->Append(postscript));
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("orc.writer.bytes_written")
+        ->Add(metadata_bytes.size() + footer_bytes.size() + postscript.size() +
+              1);
     std::string ps_len(1, static_cast<char>(postscript.size()));
     return file_->Append(ps_len);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 
 #include "common/stopwatch.h"
 #include "ql/analyzer.h"
@@ -10,6 +11,43 @@
 #include "ql/task_compiler.h"
 
 namespace minihive::ql {
+
+namespace {
+
+/// If `sql` starts with the keywords EXPLAIN PROFILE (any case, any
+/// whitespace), strips them and returns true.
+bool StripExplainProfile(std::string_view* sql) {
+  std::string_view s = *sql;
+  auto skip_spaces = [&s] {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.remove_prefix(1);
+    }
+  };
+  auto take_word = [&s](std::string_view word) {
+    if (s.size() < word.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(s[i])) != word[i]) {
+        return false;
+      }
+    }
+    // The keyword must end at a word boundary.
+    if (s.size() > word.size() &&
+        !std::isspace(static_cast<unsigned char>(s[word.size()]))) {
+      return false;
+    }
+    s.remove_prefix(word.size());
+    return true;
+  };
+  skip_spaces();
+  if (!take_word("EXPLAIN")) return false;
+  skip_spaces();
+  if (!take_word("PROFILE")) return false;
+  skip_spaces();
+  *sql = s;
+  return true;
+}
+
+}  // namespace
 
 Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
     : fs_(fs), catalog_(catalog), options_(options) {}
@@ -24,12 +62,35 @@ Result<QueryResult> Driver::Explain(std::string_view sql) {
 
 Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   Stopwatch watch;
+  // EXPLAIN PROFILE <query>: run the inner query with profiling forced on
+  // and return the rendered span tree as the plan text.
+  bool explain_profile = StripExplainProfile(&sql);
+  if (explain_profile) execute = true;
+  bool profiling = explain_profile || options_.enable_profiling;
   // Process-wide id: several Driver instances may share one DFS.
   static std::atomic<int> global_query_counter{0};
   int query_id = global_query_counter.fetch_add(1);
   query_counter_ = query_id;
   std::string scratch = "/tmp/query-" + std::to_string(query_id);
   std::string result_path = scratch + "/result";
+
+  std::shared_ptr<telemetry::Span> query_span;
+  telemetry::Span* plan_span = nullptr;
+  if (profiling) {
+    query_span = std::make_shared<telemetry::Span>(
+        "query:" + std::to_string(query_id));
+    plan_span = query_span->StartChild("plan");
+  }
+  auto finish_profile = [&](QueryResult* result) {
+    if (query_span == nullptr) return;
+    query_span->SetAttr("num_jobs", static_cast<int64_t>(result->num_jobs));
+    query_span->SetAttr("result_rows",
+                        static_cast<uint64_t>(result->rows.size()));
+    query_span->End();
+    result->profile = query_span;
+    last_profile_ = query_span;
+    if (explain_profile) result->plan_text = query_span->Render();
+  };
 
   MINIHIVE_ASSIGN_OR_RETURN(AstQueryPtr ast, ParseQuery(sql));
   Analyzer analyzer(catalog_);
@@ -49,6 +110,11 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
       stats_result.column_names = plan.result_names;
       stats_result.num_jobs = 0;
       stats_result.plan_text = "answered from ORC file statistics\n";
+      if (plan_span != nullptr) {
+        plan_span->SetAttr("answered_from", "orc-statistics");
+        plan_span->End();
+      }
+      finish_profile(&stats_result);
       stats_result.elapsed_millis = watch.ElapsedMillis();
       return stats_result;
     }
@@ -78,7 +144,14 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
     if (job.num_reducers == 0) ++result.num_map_only_jobs;
   }
   result.plan_text = compiled.DebugString();
+  if (plan_span != nullptr) {
+    plan_span->SetAttr("num_jobs", static_cast<int64_t>(result.num_jobs));
+    plan_span->SetAttr("num_map_only_jobs",
+                       static_cast<int64_t>(result.num_map_only_jobs));
+    plan_span->End();
+  }
   if (!execute) {
+    finish_profile(&result);
     result.elapsed_millis = watch.ElapsedMillis();
     return result;
   }
@@ -91,9 +164,16 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   exec_options.vectorized = options_.vectorized_execution;
   exec_options.use_combiner = options_.shuffle_combiner;
   exec_options.max_task_attempts = options_.max_task_attempts;
+  telemetry::Span* exec_span = nullptr;
+  if (query_span != nullptr) {
+    exec_span = query_span->StartChild("execute");
+    exec_options.profile = true;
+    exec_options.query_span = exec_span;
+  }
   PlanExecutor executor(fs_, catalog_, exec_options);
-  MINIHIVE_RETURN_IF_ERROR(
-      executor.Run(compiled, &result.counters, &result.jobs));
+  Status exec_status = executor.Run(compiled, &result.counters, &result.jobs);
+  if (exec_span != nullptr) exec_span->End();
+  MINIHIVE_RETURN_IF_ERROR(exec_status);
 
   // Fetch: read the result files back (variant-coded SequenceFile rows).
   // Only committed task outputs ("part-*") are fetched — a straggler's
@@ -102,6 +182,8 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   // whole query after its jobs already succeeded.
   const formats::FileFormat* format =
       formats::GetFileFormat(formats::FormatKind::kSequenceFile);
+  telemetry::Span* fetch_span =
+      query_span != nullptr ? query_span->StartChild("fetch") : nullptr;
   const int max_fetch_attempts = std::max(1, options_.max_task_attempts);
   for (const std::string& path : fs_->List(result_path + "/part-")) {
     Status last;
@@ -139,6 +221,10 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
       static_cast<int64_t>(result.rows.size()) > plan.limit) {
     result.rows.resize(plan.limit);
   }
+  if (fetch_span != nullptr) {
+    fetch_span->SetAttr("rows", static_cast<uint64_t>(result.rows.size()));
+    fetch_span->End();
+  }
 
   if (!options_.keep_temps) {
     std::vector<std::string> doomed = fs_->List(scratch + "/");
@@ -151,6 +237,7 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
       }
     }
   }
+  finish_profile(&result);
   result.elapsed_millis = watch.ElapsedMillis();
   return result;
 }

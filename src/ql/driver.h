@@ -49,6 +49,10 @@ struct DriverOptions {
   int max_task_attempts = 4;
   /// Keep intermediate files after the query (debugging).
   bool keep_temps = false;
+  /// Collect a trace-span profile (driver phases, per-job spans and task
+  /// attempts, per-operator row counts) for every query. EXPLAIN PROFILE
+  /// turns this on for its one query regardless of the setting.
+  bool enable_profiling = false;
 };
 
 struct QueryResult {
@@ -61,6 +65,8 @@ struct QueryResult {
   double elapsed_millis = 0;
   /// The compiled plan (after optimization), for explain-style inspection.
   std::string plan_text;
+  /// Root of the query's trace-span tree; null unless profiling was on.
+  std::shared_ptr<telemetry::Span> profile;
 };
 
 /// The session facade: parse -> analyze -> optimize -> compile -> execute ->
@@ -70,10 +76,18 @@ class Driver {
   Driver(dfs::FileSystem* fs, Catalog* catalog,
          DriverOptions options = DriverOptions());
 
+  /// Executes `sql`. An "EXPLAIN PROFILE <query>" statement executes the
+  /// inner query with profiling forced on and returns the rendered span
+  /// tree as `plan_text` (plus the query's normal rows).
   Result<QueryResult> Execute(std::string_view sql);
 
   /// Plans without executing; returns the plan's debug text and job count.
   Result<QueryResult> Explain(std::string_view sql);
+
+  /// Span tree of the most recent profiled query; null if none ran yet.
+  std::shared_ptr<telemetry::Span> LastProfile() const {
+    return last_profile_;
+  }
 
   Catalog* catalog() { return catalog_; }
   DriverOptions& options() { return options_; }
@@ -85,6 +99,7 @@ class Driver {
   Catalog* catalog_;
   DriverOptions options_;
   int query_counter_ = 0;
+  std::shared_ptr<telemetry::Span> last_profile_;
 };
 
 }  // namespace minihive::ql

@@ -54,11 +54,12 @@ class RowMapTask : public mr::MapTask {
   RowMapTask(dfs::FileSystem* fs, const std::vector<SourceRuntime>* sources,
              const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
                  mapjoin_tables,
-             bool vectorized)
+             bool vectorized, exec::PipelineProfile* profile)
       : fs_(fs),
         sources_(sources),
         mapjoin_tables_(mapjoin_tables),
-        vectorized_(vectorized) {}
+        vectorized_(vectorized),
+        profile_(profile) {}
 
   Status Run(const mr::InputSplit& split, int task_index, int attempt,
              mr::ShuffleEmitter* emitter) override {
@@ -75,6 +76,8 @@ class RowMapTask : public mr::MapTask {
     ctx.emitter = emitter;
     ctx.mapjoin_tables = mapjoin_tables_;
     ctx.reader_host = split.locality_host;
+    ctx.profile = profile_;
+    ctx.counters = attempt_counters();
 
     // The vectorized path handles eligible pipelines entirely (paper §6);
     // it reports NotImplemented when the pipeline does not qualify, in
@@ -104,11 +107,14 @@ class RowMapTask : public mr::MapTask {
         std::unique_ptr<formats::RowReader> reader,
         format->OpenReader(fs_, split.path, source.schema, read_options));
     Row row;
+    uint64_t records_in = 0;
     while (true) {
       MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
       if (!more) break;
+      ++records_in;
       MINIHIVE_RETURN_IF_ERROR(root->Process(row, 0));
     }
+    CountInputRecords(records_in);
     return root->Finish();
   }
 
@@ -118,6 +124,7 @@ class RowMapTask : public mr::MapTask {
   const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
       mapjoin_tables_;
   bool vectorized_;
+  exec::PipelineProfile* profile_;
 };
 
 /// Drives a reduce-entry operator pipeline with the engine's push-style
@@ -130,13 +137,15 @@ class RowReduceTask : public mr::ReduceTask {
                 const std::unordered_map<
                     int, std::shared_ptr<exec::MapJoinTables>>* mapjoin_tables,
                 int partition, int attempt = 0,
-                mr::ShuffleEmitter* emitter = nullptr)
+                mr::ShuffleEmitter* emitter = nullptr,
+                exec::PipelineProfile* profile = nullptr)
       : fs_(fs),
         reduce_root_(reduce_root),
         mapjoin_tables_(mapjoin_tables),
         partition_(partition),
         attempt_(attempt),
-        emitter_(emitter) {}
+        emitter_(emitter),
+        profile_(profile) {}
 
   Status StartGroup(const Row& key) override {
     (void)key;
@@ -170,6 +179,7 @@ class RowReduceTask : public mr::ReduceTask {
     ctx_.attempt = attempt_;
     ctx_.mapjoin_tables = mapjoin_tables_;
     ctx_.emitter = emitter_;
+    ctx_.profile = profile_;
     MINIHIVE_ASSIGN_OR_RETURN(root_,
                               exec::BuildOperatorTree(reduce_root_, &arena_));
     return root_->Init(&ctx_);
@@ -182,6 +192,7 @@ class RowReduceTask : public mr::ReduceTask {
   int partition_;
   int attempt_;
   mr::ShuffleEmitter* emitter_;
+  exec::PipelineProfile* profile_;
   exec::TaskContext ctx_;
   exec::OperatorArena arena_;
   exec::Operator* root_ = nullptr;
@@ -202,7 +213,17 @@ Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
   for (const MapRedJob& job : plan.jobs) {
     Stopwatch watch;
     mr::JobCounters counters;
-    MINIHIVE_RETURN_IF_ERROR(RunJob(job, &counters));
+    std::unique_ptr<exec::PipelineProfile> profile;
+    if (options_.profile) profile = std::make_unique<exec::PipelineProfile>();
+    Status job_status = RunJob(job, &counters, profile.get());
+    // Jobs run sequentially, so the last child of the query span is this
+    // job's span (the engine added it); hang the operator stats off it.
+    if (profile != nullptr && options_.query_span != nullptr) {
+      if (telemetry::Span* job_span = options_.query_span->LastChild()) {
+        profile->AttachToSpan(job_span);
+      }
+    }
+    MINIHIVE_RETURN_IF_ERROR(job_status);
     counters.AccumulateInto(totals);
     if (reports != nullptr) {
       JobReport report;
@@ -219,7 +240,8 @@ Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
   return Status::OK();
 }
 
-Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
+Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
+                            exec::PipelineProfile* profile) {
   // Resolve the sources.
   auto sources = std::make_shared<std::vector<SourceRuntime>>();
   for (const MapRedJob::MapSource& map_source : job.sources) {
@@ -302,28 +324,32 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters) {
   config.sort_ascending = job.sort_ascending;
   config.max_task_attempts = options_.max_task_attempts;
 
+  if (options_.profile) config.parent_span = options_.query_span;
+
   bool vectorized = options_.vectorized;
   dfs::FileSystem* fs = fs_;
-  config.map_factory = [fs, sources, mapjoin_tables, vectorized]() {
+  config.map_factory = [fs, sources, mapjoin_tables, vectorized, profile]() {
     return std::make_unique<RowMapTask>(fs, sources.get(),
-                                        mapjoin_tables.get(), vectorized);
+                                        mapjoin_tables.get(), vectorized,
+                                        profile);
   };
   if (job.num_reducers > 0) {
     const OpDesc* reduce_root = job.reduce_root.get();
-    config.reduce_factory = [fs, reduce_root, mapjoin_tables](int partition,
-                                                              int attempt) {
+    config.reduce_factory = [fs, reduce_root, mapjoin_tables,
+                             profile](int partition, int attempt) {
       return std::make_unique<RowReduceTask>(fs, reduce_root,
                                              mapjoin_tables.get(), partition,
-                                             attempt);
+                                             attempt, nullptr, profile);
     };
     if (options_.use_combiner && job.combine_root != nullptr) {
       const OpDesc* combine_root = job.combine_root.get();
       config.combiner_factory =
-          [fs, combine_root, mapjoin_tables](mr::ShuffleEmitter* out) {
+          [fs, combine_root, mapjoin_tables,
+           profile](mr::ShuffleEmitter* out) {
             return std::make_unique<RowReduceTask>(fs, combine_root,
                                                    mapjoin_tables.get(),
                                                    /*partition=*/0,
-                                                   /*attempt=*/0, out);
+                                                   /*attempt=*/0, out, profile);
           };
     }
   }

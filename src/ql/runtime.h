@@ -29,6 +29,12 @@ struct ExecutionOptions {
   /// Maximum attempts per task (and per map-join local task) before the job
   /// fails with the last attempt's error.
   int max_task_attempts = 4;
+  /// Collect per-operator statistics and per-job/per-task trace spans.
+  /// Off by default: the per-row cost when off is one branch.
+  bool profile = false;
+  /// Parent span for per-job spans ("job:<name>" children). Only consulted
+  /// when `profile` is set; may be null even then.
+  telemetry::Span* query_span = nullptr;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.
@@ -56,7 +62,8 @@ class PlanExecutor {
              std::vector<JobReport>* reports);
 
  private:
-  Status RunJob(const MapRedJob& job, mr::JobCounters* counters);
+  Status RunJob(const MapRedJob& job, mr::JobCounters* counters,
+                exec::PipelineProfile* profile);
 
   dfs::FileSystem* fs_;
   const Catalog* catalog_;

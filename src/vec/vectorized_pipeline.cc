@@ -321,12 +321,21 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
 
   // ---- Compile filters, projections, aggregation.
   BatchCompiler compiler(batch_types);
-  std::vector<std::unique_ptr<VectorFilter>> filters;
+  // Compiled filters stay grouped per Filter descriptor so profiling can
+  // attribute selectivity to the plan operator they came from.
+  struct CompiledFilterGroup {
+    exec::OperatorStats* stats = nullptr;
+    std::vector<std::unique_ptr<VectorFilter>> filters;
+  };
+  std::vector<CompiledFilterGroup> filter_groups;
   for (const OpDesc* f : shape.filters) {
     MINIHIVE_ASSIGN_OR_RETURN(
         auto compiled,
         compiler.CompileFilter(f->predicate->RemapColumns(mapping)));
-    for (auto& filter : compiled) filters.push_back(std::move(filter));
+    CompiledFilterGroup group;
+    if (ctx->profile != nullptr) group.stats = ctx->profile->ForOp(f);
+    for (auto& filter : compiled) group.filters.push_back(std::move(filter));
+    filter_groups.push_back(std::move(group));
   }
   std::vector<std::unique_ptr<VectorExpression>> expressions;
   std::vector<int> select_columns;  // Batch columns of select outputs.
@@ -398,17 +407,55 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
   std::unique_ptr<VectorizedRowBatch> batch =
       MakeBatchFor(compiler.column_types(), kDefaultBatchSize);
 
+  // Per-operator profiling slots (EnableProfiling); null when off.
+  exec::OperatorStats* scan_stats = nullptr;
+  exec::OperatorStats* select_stats = nullptr;
+  exec::OperatorStats* gby_stats = nullptr;
+  if (ctx->profile != nullptr) {
+    scan_stats = ctx->profile->ForOp(scan_root);
+    if (shape.select != nullptr) select_stats = ctx->profile->ForOp(shape.select);
+    if (shape.gby != nullptr) gby_stats = ctx->profile->ForOp(shape.gby);
+  }
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+
   Row row;
   while (true) {
     MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->NextBatch(batch.get()));
     if (!more) break;
-    for (auto& filter : filters) {
-      filter->Filter(batch.get());
+    if (ctx->counters != nullptr) {
+      ctx->counters->map_input_records += batch->size;
+    }
+    if (scan_stats != nullptr) {
+      scan_stats->batches.fetch_add(1, kRelaxed);
+      scan_stats->rows_in.fetch_add(batch->size, kRelaxed);
+      scan_stats->rows_out.fetch_add(batch->size, kRelaxed);
+    }
+    for (auto& group : filter_groups) {
+      if (group.stats != nullptr) {
+        group.stats->batches.fetch_add(1, kRelaxed);
+        group.stats->rows_in.fetch_add(batch->SelectedCount(), kRelaxed);
+      }
+      for (auto& filter : group.filters) {
+        filter->Filter(batch.get());
+        if (batch->selected_in_use && batch->selected_size == 0) break;
+      }
+      if (group.stats != nullptr) {
+        group.stats->rows_out.fetch_add(batch->SelectedCount(), kRelaxed);
+      }
       if (batch->selected_in_use && batch->selected_size == 0) break;
     }
     if (batch->selected_in_use && batch->selected_size == 0) continue;
     for (auto& expression : expressions) expression->Evaluate(batch.get());
+    if (select_stats != nullptr) {
+      select_stats->batches.fetch_add(1, kRelaxed);
+      select_stats->rows_in.fetch_add(batch->SelectedCount(), kRelaxed);
+      select_stats->rows_out.fetch_add(batch->SelectedCount(), kRelaxed);
+    }
     if (aggregator != nullptr) {
+      if (gby_stats != nullptr) {
+        gby_stats->batches.fetch_add(1, kRelaxed);
+        gby_stats->rows_in.fetch_add(batch->SelectedCount(), kRelaxed);
+      }
       aggregator->Update(*batch);
       continue;
     }
@@ -434,8 +481,10 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
     }
   }
   if (aggregator != nullptr) {
-    MINIHIVE_RETURN_IF_ERROR(aggregator->Emit(
-        [&](const Row& partial) { return terminal->Process(partial, 0); }));
+    MINIHIVE_RETURN_IF_ERROR(aggregator->Emit([&](const Row& partial) {
+      if (gby_stats != nullptr) gby_stats->rows_out.fetch_add(1, kRelaxed);
+      return terminal->Process(partial, 0);
+    }));
   }
   return terminal->Finish();
 }

@@ -15,7 +15,7 @@ namespace {
 class EventSink : public Operator {
  public:
   EventSink() : Operator(&desc_) { desc_.kind = OpKind::kSelect; }
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     events.push_back("row(tag=" + std::to_string(tag) +
                      ",v=" + row[0].ToString() + ")");
     return Status::OK();

@@ -11,7 +11,7 @@ namespace {
 class SinkOperator : public Operator {
  public:
   SinkOperator() : Operator(&desc_) { desc_.kind = OpKind::kSelect; }
-  Status Process(const Row& row, int tag) override {
+  Status DoProcess(const Row& row, int tag) override {
     rows.push_back(row);
     tags.push_back(tag);
     return Status::OK();

@@ -1,0 +1,165 @@
+// End-to-end tests for query profiling: EXPLAIN PROFILE parsing, the span
+// tree a profiled query produces (driver -> jobs -> operators), and the
+// consistency of the per-operator row counts it reports.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/random.h"
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<dfs::FileSystem>();
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+    std::vector<Row> orders;
+    Random rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      orders.push_back({Value::Int(i), Value::Int(i % 100),
+                        Value::Double((i % 50) * 1.5)});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "orders",
+                    *TypeDescription::Parse("struct<o_id:bigint,"
+                                            "o_custkey:bigint,"
+                                            "o_amount:double>"),
+                    formats::FormatKind::kTextFile,
+                    codec::CompressionKind::kNone, orders, 3)
+                    .ok());
+  }
+
+  QueryResult MustExecute(Driver* driver, const std::string& sql) {
+    auto result = driver->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+    if (!result.ok()) return QueryResult();
+    return std::move(result).ValueOrDie();
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+// A GROUP BY + ORDER BY query compiles to at least two MapReduce jobs; the
+// profile must cover the driver phases, every job and every operator.
+TEST_F(ProfileTest, ExplainProfileCoversJobsAndOperators) {
+  Driver driver(fs_.get(), catalog_.get());
+  QueryResult result = MustExecute(
+      &driver,
+      "EXPLAIN PROFILE SELECT o_custkey, SUM(o_amount) AS total FROM orders "
+      "GROUP BY o_custkey ORDER BY o_custkey");
+  ASSERT_GE(result.num_jobs, 2);
+  ASSERT_EQ(result.rows.size(), 100u);
+
+  // The rendered tree is returned as the plan text.
+  EXPECT_NE(result.plan_text.find("query:"), std::string::npos);
+  EXPECT_NE(result.plan_text.find("execute"), std::string::npos);
+  EXPECT_NE(result.plan_text.find("job:"), std::string::npos);
+  EXPECT_NE(result.plan_text.find("op:"), std::string::npos);
+
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_EQ(driver.LastProfile(), result.profile);
+
+  // Driver phases are children of the query root.
+  EXPECT_NE(result.profile->FindDescendant("plan"), nullptr);
+  EXPECT_NE(result.profile->FindDescendant("fetch"), nullptr);
+  const telemetry::Span* execute = result.profile->FindDescendant("execute");
+  ASSERT_NE(execute, nullptr);
+
+  // One job span per compiled job, each carrying operator spans whose
+  // rows_in is nonzero (data flowed through every operator).
+  int job_spans = 0;
+  for (const telemetry::Span* job : execute->children()) {
+    if (job->name().rfind("job:", 0) != 0) continue;
+    ++job_spans;
+    int op_spans = 0;
+    for (const telemetry::Span* op : job->children()) {
+      if (op->name().rfind("op:", 0) != 0) continue;
+      ++op_spans;
+      json::Writer w;
+      op->WriteJson(&w, /*include_timing=*/false);
+      EXPECT_EQ(w.str().find("\"rows_in\": 0"), std::string::npos)
+          << "operator saw no rows: " << w.str();
+    }
+    EXPECT_GT(op_spans, 0) << "job span without operator spans: "
+                           << job->name();
+    // The engine folded the job counters into the span.
+    json::Writer w;
+    job->WriteJson(&w, /*include_timing=*/false);
+    EXPECT_NE(w.str().find("map_input_records"), std::string::npos);
+  }
+  EXPECT_EQ(job_spans, result.num_jobs);
+}
+
+// The scan of the first job must have read every table row, and the final
+// job's sink rows must match the returned result rows.
+TEST_F(ProfileTest, OperatorRowCountsAreConsistent) {
+  Driver driver(fs_.get(), catalog_.get());
+  QueryResult result = MustExecute(
+      &driver,
+      "EXPLAIN PROFILE SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+      "GROUP BY o_custkey");
+  ASSERT_GE(result.num_jobs, 1);
+  const telemetry::Span* execute = result.profile->FindDescendant("execute");
+  ASSERT_NE(execute, nullptr);
+  std::vector<const telemetry::Span*> jobs;
+  for (const telemetry::Span* child : execute->children()) {
+    if (child->name().rfind("job:", 0) == 0) jobs.push_back(child);
+  }
+  ASSERT_FALSE(jobs.empty());
+  json::Writer first;
+  jobs.front()->WriteJson(&first, /*include_timing=*/false);
+  // 3000 table rows entered the first job's map phase.
+  EXPECT_NE(first.str().find("\"map_input_records\": 3000"),
+            std::string::npos)
+      << first.str();
+}
+
+TEST_F(ProfileTest, ExplainProfileIsCaseInsensitive) {
+  Driver driver(fs_.get(), catalog_.get());
+  QueryResult result = MustExecute(
+      &driver, "explain   profile select o_id from orders where o_id < 3");
+  EXPECT_EQ(result.rows.size(), 3u);
+  EXPECT_NE(result.profile, nullptr);
+  EXPECT_NE(result.plan_text.find("query:"), std::string::npos);
+}
+
+TEST_F(ProfileTest, PlainExplainProducesNoProfile) {
+  Driver driver(fs_.get(), catalog_.get());
+  auto result = driver.Explain("SELECT o_id FROM orders");
+  ASSERT_TRUE(result.ok());
+  // Plain EXPLAIN does not execute and produces no profile.
+  EXPECT_EQ(result->rows.size(), 0u);
+  EXPECT_EQ(result->profile, nullptr);
+}
+
+TEST_F(ProfileTest, ProfilingOffByDefault) {
+  Driver driver(fs_.get(), catalog_.get());
+  QueryResult result = MustExecute(
+      &driver, "SELECT o_id FROM orders WHERE o_id < 3");
+  EXPECT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.profile, nullptr);
+  EXPECT_EQ(driver.LastProfile(), nullptr);
+}
+
+TEST_F(ProfileTest, EnableProfilingOptionWithoutExplain) {
+  DriverOptions options;
+  options.enable_profiling = true;
+  Driver driver(fs_.get(), catalog_.get(), options);
+  QueryResult result = MustExecute(
+      &driver, "SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+               "GROUP BY o_custkey");
+  EXPECT_EQ(result.rows.size(), 100u);
+  // Profile captured, but the plan text is the normal plan (no render).
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_EQ(result.plan_text.find("query:"), std::string::npos);
+  EXPECT_NE(result.profile->FindDescendant("execute"), nullptr);
+  EXPECT_EQ(driver.LastProfile(), result.profile);
+}
+
+}  // namespace
+}  // namespace minihive::ql
