@@ -1,5 +1,8 @@
 #include "common/fault.h"
 
+#include <chrono>
+#include <thread>
+
 namespace minihive {
 
 namespace {
@@ -49,6 +52,26 @@ Status FaultInjector::MaybeError(FaultSite site, const std::string& path) {
   return Status::IoError("injected " + std::string(SiteName(site)) +
                          " fault on " + path + " (call " + std::to_string(k) +
                          ")");
+}
+
+void FaultInjector::MaybeDelay(FaultSite site, const std::string& path) {
+  double p = 0;
+  switch (site) {
+    case FaultSite::kRead: p = config_.read_delay_probability; break;
+    case FaultSite::kAppend: p = config_.append_delay_probability; break;
+    default: return;
+  }
+  if (p <= 0 || config_.delay_millis <= 0) return;
+  if (!PathMatches(path)) return;
+  uint64_t k = delay_calls_[static_cast<int>(site)].fetch_add(1);
+  // Independent stream from the error draws for the same site.
+  if (ToUnit(Draw(site, k ^ (0xDE1A7ULL << 20))) >= p) return;
+  switch (site) {
+    case FaultSite::kRead: stats_.read_delays += 1; break;
+    case FaultSite::kAppend: stats_.append_delays += 1; break;
+    default: break;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_millis));
 }
 
 void FaultInjector::MaybeFlip(const std::string& path, uint64_t offset,

@@ -30,6 +30,14 @@ struct FaultConfig {
   double read_flip_probability = 0;
   double append_error_probability = 0;
   double close_error_probability = 0;
+  /// Latency injection: the k-th read/append at a site stalls for
+  /// `delay_millis` with the given probability — the "straggler" failure
+  /// mode (slow disk, hot datanode) that per-task-attempt deadlines must
+  /// catch. Delays are seed-deterministic like errors: the same seed stalls
+  /// the same calls.
+  double read_delay_probability = 0;
+  double append_delay_probability = 0;
+  int delay_millis = 0;
   /// When non-empty, faults are only injected on paths containing this
   /// substring (target one table, one temp dir, ...).
   std::string path_filter;
@@ -42,10 +50,13 @@ struct FaultStats {
   std::atomic<uint64_t> byte_flips{0};
   std::atomic<uint64_t> append_errors{0};
   std::atomic<uint64_t> close_errors{0};
+  std::atomic<uint64_t> read_delays{0};
+  std::atomic<uint64_t> append_delays{0};
 
   uint64_t total() const {
     return open_errors.load() + read_errors.load() + byte_flips.load() +
-           append_errors.load() + close_errors.load();
+           append_errors.load() + close_errors.load() + read_delays.load() +
+           append_delays.load();
   }
 };
 
@@ -68,6 +79,11 @@ class FaultInjector {
   /// within `path`). No-op on empty data.
   void MaybeFlip(const std::string& path, uint64_t offset, std::string* data);
 
+  /// Possibly stalls the calling thread for `delay_millis` (straggler
+  /// injection). Only kRead and kAppend sites have delay probabilities; the
+  /// call is deterministic in (seed, site, k) like MaybeError.
+  void MaybeDelay(FaultSite site, const std::string& path);
+
   const FaultStats& stats() const { return stats_; }
   const FaultConfig& config() const { return config_; }
 
@@ -88,6 +104,7 @@ class FaultInjector {
   FaultStats stats_;
   std::atomic<uint64_t> site_calls_[kNumFaultSites] = {};
   std::atomic<uint64_t> flip_calls_{0};
+  std::atomic<uint64_t> delay_calls_[kNumFaultSites] = {};
 };
 
 }  // namespace minihive

@@ -20,6 +20,10 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  /// The query was cancelled by its session (cooperative cancellation).
+  kCancelled,
+  /// A wall-clock deadline (query timeout or task-attempt timeout) passed.
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -73,6 +77,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -92,6 +102,10 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -19,6 +19,7 @@ class WritableFileImpl : public WritableFile {
   Status Append(std::string_view bytes) override {
     if (closed_) return Status::IoError("append to closed file");
     if (FaultInjector* faults = fs_->fault_injector()) {
+      faults->MaybeDelay(FaultSite::kAppend, path_);
       MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kAppend, path_));
     }
     data_->contents.append(bytes.data(), bytes.size());
@@ -79,6 +80,7 @@ class ReadableFileImpl : public ReadableFile {
       return Status::OutOfRange("read past end of file");
     }
     if (FaultInjector* faults = fs_->fault_injector()) {
+      faults->MaybeDelay(FaultSite::kRead, path_);
       MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kRead, path_));
     }
     out->assign(data_->contents, offset, length);
@@ -200,7 +202,11 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
   if (!it->second->closed) {
     return Status::IoError("rename of file still open for write: " + from);
   }
-  if (files_.count(to) > 0) return Status::AlreadyExists("file exists: " + to);
+  // Replace-if-exists (POSIX rename semantics). Task-output promotion
+  // depends on this: when a commit fails partway and the task is retried,
+  // the retry's commit renames over the stale file from the earlier
+  // attempt — the last committed output must win, not fail AlreadyExists
+  // and wedge every subsequent attempt.
   files_[to] = std::move(it->second);
   files_.erase(it);
   return Status::OK();

@@ -102,7 +102,10 @@ class FileSystem {
 
   Status Delete(const std::string& path);
   /// Atomically renames a closed file (task output promotion). Fails with
-  /// NotFound if `from` is missing and AlreadyExists if `to` exists.
+  /// NotFound if `from` is missing. If `to` exists it is REPLACED (POSIX
+  /// semantics): a retried task's commit must overwrite the stale file a
+  /// half-committed earlier attempt left behind, so the committed output
+  /// always wins.
   Status Rename(const std::string& from, const std::string& to);
   bool Exists(const std::string& path) const;
   Result<uint64_t> FileSize(const std::string& path) const;

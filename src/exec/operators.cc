@@ -791,8 +791,11 @@ Result<Operator*> BuildOperatorTree(
 }
 
 Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
-    dfs::FileSystem* fs, const OpDesc& desc, const TableResolver& resolve) {
+    dfs::FileSystem* fs, const OpDesc& desc, const TableResolver& resolve,
+    const QueryContext* query, uint64_t memory_budget_bytes) {
   auto tables = std::make_shared<MapJoinTables>();
+  uint64_t total_bytes = 0;
+  uint64_t rows_scanned = 0;
   for (const auto& side : desc.mapjoin_small_sides) {
     MINIHIVE_ASSIGN_OR_RETURN(SmallTableSource source,
                               resolve(side.table_name));
@@ -806,6 +809,9 @@ Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
           format->OpenReader(fs, path, source.schema, options));
       Row row;
       while (true) {
+        if (query != nullptr && (++rows_scanned & 511u) == 0) {
+          MINIHIVE_RETURN_IF_ERROR(query->CheckAlive());
+        }
         MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
         if (!more) break;
         if (side.build_filter != nullptr) {
@@ -820,8 +826,19 @@ Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
         for (const ExprPtr& e : side.build_values) {
           value.push_back(e->Eval(row));
         }
-        table->approx_bytes += mr::EstimateRowBytes(key) +
-                               mr::EstimateRowBytes(value) + 32;
+        uint64_t row_bytes = mr::EstimateRowBytes(key) +
+                             mr::EstimateRowBytes(value) + 32;
+        table->approx_bytes += row_bytes;
+        total_bytes += row_bytes;
+        // Enforced while building, not after: the guard exists precisely so
+        // an oversized build side cannot balloon memory before being caught.
+        if (memory_budget_bytes > 0 && total_bytes > memory_budget_bytes) {
+          return Status::ResourceExhausted(
+              "map-join hash table for " + side.table_name + " exceeds the " +
+              std::to_string(memory_budget_bytes) +
+              "-byte memory budget (build aborted at " +
+              std::to_string(total_bytes) + " bytes)");
+        }
         table->rows[SerializeKey(key)].push_back(std::move(value));
       }
     }

@@ -98,6 +98,10 @@ struct TaskContext {
   /// Attempt-local job counters; the pipeline that reads the split reports
   /// input records here (the engine cannot see them otherwise).
   mr::JobCounters* counters = nullptr;
+  /// Lifecycle governor for this task attempt (cancellation + deadlines).
+  /// The pipeline driver polls it at row/batch boundaries; readers check it
+  /// per index group. Null = ungoverned.
+  const TaskGovernor* governor = nullptr;
 };
 
 /// Base runtime operator. The push-based model from Hive: parents call
@@ -185,8 +189,14 @@ struct SmallTableSource {
 using TableResolver =
     std::function<Result<SmallTableSource>(const std::string&)>;
 
+/// `memory_budget_bytes` caps the cumulative approximate size of all hash
+/// tables built for the operator (0 = unlimited): exceeding it fails the
+/// build with a typed ResourceExhausted, the signal the driver uses to fall
+/// back to the reduce-join backup plan instead of retrying. `query` (may be
+/// null) is polled while scanning so a cancelled query stops the build.
 Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
-    dfs::FileSystem* fs, const OpDesc& desc, const TableResolver& resolve);
+    dfs::FileSystem* fs, const OpDesc& desc, const TableResolver& resolve,
+    const QueryContext* query = nullptr, uint64_t memory_budget_bytes = 0);
 
 }  // namespace minihive::exec
 

@@ -11,6 +11,10 @@
 #include "common/value.h"
 #include "dfs/file_system.h"
 
+namespace minihive {
+class TaskGovernor;  // Defined in common/query_context.h.
+}  // namespace minihive
+
 namespace minihive::orc {
 class SearchArgument;  // Defined in orc/sarg.h; only ORC honours it.
 }  // namespace minihive::orc
@@ -41,6 +45,10 @@ struct ReadOptions {
   /// Predicate pushed down to the reader. Only ORC uses it (paper §4.2);
   /// other formats ignore it.
   const orc::SearchArgument* sarg = nullptr;
+  /// Task lifecycle governor; a reader that honours it (ORC, per index
+  /// group) stops a long scan when the query is cancelled or a deadline
+  /// passes. Null = ungoverned.
+  const TaskGovernor* governor = nullptr;
 };
 
 /// Appends rows to one file; Close() finalizes the file.

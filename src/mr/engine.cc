@@ -91,11 +91,18 @@ class CollectingEmitter : public ShuffleEmitter {
 /// in (key, tag) order, inserting group-boundary signals at key changes.
 /// `next` yields the next record or nullptr when exhausted.
 template <typename NextFn>
-Status DriveGroups(ReduceTask* reduce, NextFn&& next) {
+Status DriveGroups(ReduceTask* reduce, NextFn&& next,
+                   const TaskGovernor* governor = nullptr) {
   bool group_open = false;
   Row current_key;
+  uint64_t records_seen = 0;
   for (const ShuffleRecord* record = next(); record != nullptr;
        record = next()) {
+    // Cancellation point: cheap enough to keep per-record cost negligible,
+    // frequent enough that a dead query stops within one batch of records.
+    if (governor != nullptr && (++records_seen & 511u) == 0) {
+      MINIHIVE_RETURN_IF_ERROR(governor->CheckAlive());
+    }
     if (!group_open || !SameKey(current_key, record->key)) {
       if (group_open) {
         MINIHIVE_RETURN_IF_ERROR(reduce->EndGroup());
@@ -117,10 +124,14 @@ Status DriveGroups(ReduceTask* reduce, NextFn&& next) {
 /// output, folds each sorted run through the combiner (when configured),
 /// and accounts the post-combine records as the task's shuffled bytes.
 Status SortAndCombineRuns(PartitionedEmitter* emitter, const JobConfig& job,
-                          JobCounters* counters) {
+                          JobCounters* counters,
+                          const TaskGovernor* governor = nullptr) {
   Stopwatch sort_watch;
   ShuffleLess less{&job.sort_ascending};
   for (auto& run : emitter->partitions()) {
+    if (governor != nullptr) {
+      MINIHIVE_RETURN_IF_ERROR(governor->CheckAlive());
+    }
     if (run.empty()) continue;
     std::sort(run.begin(), run.end(), less);
     if (job.combiner_factory) {
@@ -130,7 +141,7 @@ Status SortAndCombineRuns(PartitionedEmitter* emitter, const JobConfig& job,
       MINIHIVE_RETURN_IF_ERROR(
           DriveGroups(combiner.get(), [&]() -> const ShuffleRecord* {
             return pos < run.size() ? &run[pos++] : nullptr;
-          }));
+          }, governor));
       counters->combine_input_records += run.size();
       counters->combine_output_records += combined.records().size();
       run = std::move(combined.records());
@@ -205,6 +216,20 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
     return s;
   };
 
+  // Dead-query check at phase boundaries. Counted once per job: tasks that
+  // die of the same cause inside a phase do not re-bump the counter.
+  auto query_dead_status = [&]() -> Status {
+    return job.query_ctx != nullptr ? job.query_ctx->CheckAlive()
+                                    : Status::OK();
+  };
+  {
+    Status alive = query_dead_status();
+    if (!alive.ok()) {
+      counters->queries_cancelled += 1;
+      return finish_job(alive);
+    }
+  }
+
   // ---- Map phase: run the map task, then form this task's sorted
   // (and combined) runs while still on the worker thread — the expensive
   // sort work happens where it is cheap and parallel.
@@ -217,8 +242,18 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
       [&](int index) -> Status {
         ThreadCpuTimer cpu;
         Status s;
+        bool query_dead = false;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          // Fast exit: a task picked up (or retried) after the query died
+          // must not start another attempt.
+          s = query_dead_status();
+          if (!s.ok()) {
+            query_dead = true;
+            break;
+          }
           Stopwatch attempt_watch;
+          TaskGovernor governor(job.query_ctx);
+          governor.set_attempt_timeout_millis(job.task_timeout_millis);
           telemetry::Span* attempt_span =
               job_span != nullptr
                   ? job_span->StartChild("map[" + std::to_string(index) + "]")
@@ -230,9 +265,14 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
               std::make_unique<PartitionedEmitter>(num_partitions, &local);
           std::unique_ptr<MapTask> task = job.map_factory();
           task->set_attempt_counters(&local);
+          task->set_governor(&governor);
           s = task->Run(job.splits[index], index, attempt, emitter.get());
+          // A task that never polls its governor is still caught here: a
+          // late kill, but deterministic — the attempt can't commit past
+          // its deadline.
+          if (s.ok()) s = governor.CheckAlive();
           if (s.ok() && job.num_reducers > 0) {
-            s = SortAndCombineRuns(emitter.get(), job, &local);
+            s = SortAndCombineRuns(emitter.get(), job, &local, &governor);
           }
           if (s.ok() && job.commit_task) {
             s = job.commit_task(TaskKind::kMap, index, attempt);
@@ -252,13 +292,23 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
             emitters[index] = std::move(emitter);
             break;
           }
+          if (job.abort_task) job.abort_task(TaskKind::kMap, index, attempt);
+          // Classify the failure. Dead query: stop, not a task failure and
+          // never retried. Attempt timeout (straggler kill): counted, then
+          // retried like any failure.
+          Status alive = query_dead_status();
+          if (!alive.ok()) {
+            s = alive;
+            query_dead = true;
+            break;
+          }
           counters->map_task_failures += 1;
+          if (governor.AttemptTimedOut()) counters->tasks_timed_out += 1;
           counters->retried_task_nanos +=
               static_cast<int64_t>(attempt_watch.ElapsedMillis() * 1e6);
-          if (job.abort_task) job.abort_task(TaskKind::kMap, index, attempt);
         }
         counters->cpu_nanos += cpu.ElapsedNanos();
-        if (!s.ok()) {
+        if (!s.ok() && !query_dead) {
           return Status(s.code(),
                         "map task " + std::to_string(index) +
                             " failed after " + std::to_string(max_attempts) +
@@ -266,13 +316,23 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         }
         return s;
       });
-  if (!status.ok()) return finish_job(status);
+  if (!status.ok()) {
+    if (!query_dead_status().ok()) counters->queries_cancelled += 1;
+    return finish_job(status);
+  }
   counters->map_phase_millis = map_watch.ElapsedMillis();
 
   if (job.num_reducers == 0) return finish_job(Status::OK());
   if (!job.reduce_factory) {
     return finish_job(
         Status::InvalidArgument("job has reducers but no reduce factory"));
+  }
+  {
+    Status alive = query_dead_status();
+    if (!alive.ok()) {
+      counters->queries_cancelled += 1;
+      return finish_job(alive);
+    }
   }
 
   // ---- Shuffle + reduce phase (starts after the whole map phase). Each
@@ -299,8 +359,16 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
           return b.run_index < a.run_index;
         };
         Status s;
+        bool query_dead = false;
         for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          s = query_dead_status();
+          if (!s.ok()) {
+            query_dead = true;
+            break;
+          }
           Stopwatch attempt_watch;
+          TaskGovernor governor(job.query_ctx);
+          governor.set_attempt_timeout_millis(job.task_timeout_millis);
           telemetry::Span* attempt_span =
               job_span != nullptr
                   ? job_span->StartChild("reduce[" +
@@ -334,7 +402,8 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
             }
             return record;
           };
-          s = DriveGroups(task.get(), next);
+          s = DriveGroups(task.get(), next, &governor);
+          if (s.ok()) s = governor.CheckAlive();
           if (s.ok() && job.commit_task) {
             s = job.commit_task(TaskKind::kReduce, partition, attempt);
           }
@@ -358,15 +427,22 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
             }
             break;
           }
-          counters->reduce_task_failures += 1;
-          counters->retried_task_nanos +=
-              static_cast<int64_t>(attempt_watch.ElapsedMillis() * 1e6);
           if (job.abort_task) {
             job.abort_task(TaskKind::kReduce, partition, attempt);
           }
+          Status alive = query_dead_status();
+          if (!alive.ok()) {
+            s = alive;
+            query_dead = true;
+            break;
+          }
+          counters->reduce_task_failures += 1;
+          if (governor.AttemptTimedOut()) counters->tasks_timed_out += 1;
+          counters->retried_task_nanos +=
+              static_cast<int64_t>(attempt_watch.ElapsedMillis() * 1e6);
         }
         counters->cpu_nanos += cpu.ElapsedNanos();
-        if (!s.ok()) {
+        if (!s.ok() && !query_dead) {
           return Status(s.code(),
                         "reduce task " + std::to_string(partition) +
                             " failed after " + std::to_string(max_attempts) +
@@ -374,7 +450,10 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
         }
         return s;
       });
-  if (!status.ok()) return finish_job(status);
+  if (!status.ok()) {
+    if (!query_dead_status().ok()) counters->queries_cancelled += 1;
+    return finish_job(status);
+  }
   counters->reduce_phase_millis = reduce_watch.ElapsedMillis();
   return finish_job(Status::OK());
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/telemetry.h"
@@ -57,8 +58,23 @@ struct JobCounters {
   /// succeeds with nonzero failures recovered via retries.
   std::atomic<uint64_t> map_task_failures{0};
   std::atomic<uint64_t> reduce_task_failures{0};
+  /// Straggler kills: attempts that exceeded task_timeout_millis and were
+  /// cooperatively killed then retried (a subset of the failure counters).
+  std::atomic<uint64_t> tasks_timed_out{0};
+  /// Jobs aborted because the query was cancelled or its deadline passed
+  /// (at most 1 per job; query-level aggregation sums them).
+  std::atomic<uint64_t> queries_cancelled{0};
+  /// Failed attempts of the map-join local task (hash-table build) and the
+  /// wall time all its attempts burnt — retries there are otherwise
+  /// invisible to telemetry (the build runs outside the engine's task loop).
+  std::atomic<uint64_t> local_task_failures{0};
+  /// Map-join builds that blew the memory budget and were re-run through
+  /// the backup reduce-join plan (Hive's backup-task protocol).
+  std::atomic<uint64_t> mapjoin_fallbacks{0};
   /// Wall time burnt in failed attempts (the retry tax), summed over tasks.
   std::atomic<int64_t> retried_task_nanos{0};
+  /// Wall time of the map-join local task (all attempts).
+  std::atomic<int64_t> local_task_nanos{0};
   int map_tasks = 0;
   int reduce_tasks = 0;
   double map_phase_millis = 0;
@@ -71,7 +87,7 @@ struct JobCounters {
     T JobCounters::*member;
   };
 
-  static constexpr std::array<NamedField<std::atomic<uint64_t>>, 8>
+  static constexpr std::array<NamedField<std::atomic<uint64_t>>, 12>
   atomic_u64_fields() {
     return {{{"map_input_records", &JobCounters::map_input_records},
              {"map_output_records", &JobCounters::map_output_records},
@@ -80,14 +96,19 @@ struct JobCounters {
              {"combine_input_records", &JobCounters::combine_input_records},
              {"combine_output_records", &JobCounters::combine_output_records},
              {"map_task_failures", &JobCounters::map_task_failures},
-             {"reduce_task_failures", &JobCounters::reduce_task_failures}}};
+             {"reduce_task_failures", &JobCounters::reduce_task_failures},
+             {"tasks_timed_out", &JobCounters::tasks_timed_out},
+             {"queries_cancelled", &JobCounters::queries_cancelled},
+             {"local_task_failures", &JobCounters::local_task_failures},
+             {"mapjoin_fallbacks", &JobCounters::mapjoin_fallbacks}}};
   }
 
-  static constexpr std::array<NamedField<std::atomic<int64_t>>, 3>
+  static constexpr std::array<NamedField<std::atomic<int64_t>>, 4>
   atomic_i64_fields() {
     return {{{"cpu_nanos", &JobCounters::cpu_nanos},
              {"shuffle_sort_nanos", &JobCounters::shuffle_sort_nanos},
-             {"retried_task_nanos", &JobCounters::retried_task_nanos}}};
+             {"retried_task_nanos", &JobCounters::retried_task_nanos},
+             {"local_task_nanos", &JobCounters::local_task_nanos}}};
   }
 
   static constexpr std::array<NamedField<int>, 2> int_fields() {
@@ -119,6 +140,7 @@ struct JobCounters {
   double cpu_millis() const { return cpu_nanos.load() / 1e6; }
   double shuffle_sort_millis() const { return shuffle_sort_nanos.load() / 1e6; }
   double retried_task_millis() const { return retried_task_nanos.load() / 1e6; }
+  double local_task_millis() const { return local_task_nanos.load() / 1e6; }
 
   /// Merges the record/byte/time counters (all atomic) into `total`.
   /// Thread-safe: this is how a successful task attempt publishes its
@@ -166,7 +188,7 @@ struct JobCounters {
 // the matching *_fields() table above, then adjust the expected size.
 static_assert(sizeof(void*) != 8 ||
                   sizeof(JobCounters) ==
-                      8 * (8 + 3) +  // atomic u64/i64 fields
+                      8 * (12 + 4) +  // atomic u64/i64 fields
                           2 * sizeof(int) + 2 * sizeof(double),
               "JobCounters changed: update the field tables in engine.h");
 
@@ -199,6 +221,12 @@ class MapTask {
     attempt_counters_ = counters;
   }
 
+  /// The engine points this at the attempt's governor before Run. A
+  /// cooperative task polls it at row/batch boundaries and returns the
+  /// error; a task that never polls is still caught by the engine's
+  /// post-Run deadline check, just later. Null outside the engine.
+  void set_governor(const TaskGovernor* governor) { governor_ = governor; }
+
  protected:
   void CountInputRecords(uint64_t n) {
     if (attempt_counters_ != nullptr) {
@@ -206,9 +234,11 @@ class MapTask {
     }
   }
   JobCounters* attempt_counters() { return attempt_counters_; }
+  const TaskGovernor* governor() const { return governor_; }
 
  private:
   JobCounters* attempt_counters_ = nullptr;
+  const TaskGovernor* governor_ = nullptr;
 };
 
 /// User reduce logic, driven push-style by the engine's Reducer Driver:
@@ -272,6 +302,15 @@ struct JobConfig {
   /// a child span per task attempt, and folds the job's counters into the
   /// job span as attributes. Null = no tracing (zero overhead).
   telemetry::Span* parent_span = nullptr;
+  /// Query-level lifecycle: cancellation + wall-clock deadline. Checked at
+  /// job/phase boundaries and polled cooperatively inside tasks. A dead
+  /// query fails the job with Cancelled/DeadlineExceeded without retrying.
+  /// Null = ungoverned (standalone engine tests).
+  const QueryContext* query_ctx = nullptr;
+  /// Per-task-attempt deadline (straggler kill). An attempt past it is
+  /// cooperatively killed and retried under max_task_attempts, counted in
+  /// `tasks_timed_out`. 0 disables.
+  int task_timeout_millis = 0;
 };
 
 struct EngineOptions {

@@ -464,6 +464,11 @@ class OrcReader::Impl {
   /// decodes groups as needed. Sets done_ at end of the split.
   Status EnsureGroup() {
     while (!done_ && rows_in_group_cursor_ >= current_group_rows_) {
+      // Cancellation point: one check per index group (thousands of rows)
+      // keeps a governed scan responsive at negligible per-row cost.
+      if (options_.governor != nullptr) {
+        MINIHIVE_RETURN_IF_ERROR(options_.governor->CheckAlive());
+      }
       if (stripe_loaded_ && group_iter_ < selected_groups_.size()) {
         MINIHIVE_RETURN_IF_ERROR(DecodeGroup(selected_groups_[group_iter_++]));
         continue;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "common/value.h"
@@ -37,6 +38,10 @@ struct OrcReadOptions {
   /// stripes remain readable. On by default: the CRC cost is tiny next to
   /// decompression.
   bool verify_checksums = true;
+  /// Task lifecycle governor, checked before decoding each index group so a
+  /// cancelled or out-of-time query stops a scan mid-stripe. Null =
+  /// ungoverned.
+  const TaskGovernor* governor = nullptr;
 };
 
 /// Reads one ORC file: row-at-a-time via NextRow() or in vectorized batches

@@ -61,12 +61,65 @@ Result<QueryResult> Driver::Explain(std::string_view sql) {
 }
 
 Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
-  Stopwatch watch;
   // EXPLAIN PROFILE <query>: run the inner query with profiling forced on
   // and return the rendered span tree as the plan text.
   bool explain_profile = StripExplainProfile(&sql);
   if (explain_profile) execute = true;
+
+  // The lifecycle context is shared by the primary run and any fallback
+  // run: the deadline spans the whole statement, not each attempt.
+  QueryContext query_ctx;
+  query_ctx.set_token(token_);
+  query_ctx.set_timeout_millis(options_.query_timeout_millis);
+  query_ctx.set_mapjoin_memory_budget_bytes(
+      options_.mapjoin_memory_budget_bytes);
+
+  Result<QueryResult> result = RunOnce(sql, execute, explain_profile,
+                                       query_ctx, /*disable_mapjoin=*/false,
+                                       /*mapjoin_fallbacks=*/0);
+  if (!result.ok() && result.status().IsResourceExhausted() && execute &&
+      options_.mapjoin_conversion) {
+    // Backup-task protocol (paper §5.1): a map-join build that blew its
+    // memory budget is a determinate failure of the optimistic plan, not of
+    // the query. Re-plan from the SQL with map-join conversion disabled —
+    // the pre-conversion reduce joins — and re-execute transparently.
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("ql.driver.mapjoin_fallbacks")
+        ->Increment();
+    result = RunOnce(sql, execute, explain_profile, query_ctx,
+                     /*disable_mapjoin=*/true, /*mapjoin_fallbacks=*/1);
+  }
+  if (!result.ok() && (result.status().IsCancelled() ||
+                       result.status().IsDeadlineExceeded())) {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("ql.driver.queries_cancelled")
+        ->Increment();
+  }
+  return result;
+}
+
+void Driver::CleanupTemps(const std::string& scratch,
+                          const std::vector<std::string>& temp_dirs) {
+  if (options_.keep_temps) return;
+  // Best-effort: on the error paths some files were already aborted away.
+  for (const std::string& path : fs_->List(scratch + "/")) {
+    fs_->Delete(path).ok();
+  }
+  for (const std::string& dir : temp_dirs) {
+    for (const std::string& path : fs_->List(dir + "/")) {
+      fs_->Delete(path).ok();
+    }
+  }
+}
+
+Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
+                                    bool explain_profile,
+                                    const QueryContext& query_ctx,
+                                    bool disable_mapjoin,
+                                    int mapjoin_fallbacks) {
+  Stopwatch watch;
   bool profiling = explain_profile || options_.enable_profiling;
+  MINIHIVE_RETURN_IF_ERROR(query_ctx.CheckAlive());
   // Process-wide id: several Driver instances may share one DFS.
   static std::atomic<int> global_query_counter{0};
   int query_id = global_query_counter.fetch_add(1);
@@ -86,6 +139,10 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
     query_span->SetAttr("num_jobs", static_cast<int64_t>(result->num_jobs));
     query_span->SetAttr("result_rows",
                         static_cast<uint64_t>(result->rows.size()));
+    if (mapjoin_fallbacks > 0) {
+      query_span->SetAttr("mapjoin_fallbacks",
+                          static_cast<uint64_t>(mapjoin_fallbacks));
+    }
     query_span->End();
     result->profile = query_span;
     last_profile_ = query_span;
@@ -119,7 +176,7 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
       return stats_result;
     }
   }
-  if (options_.mapjoin_conversion) {
+  if (options_.mapjoin_conversion && !disable_mapjoin) {
     MINIHIVE_RETURN_IF_ERROR(ConvertMapJoins(
         &plan, catalog_, options_.mapjoin_threshold_bytes));
   }
@@ -164,6 +221,10 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   exec_options.vectorized = options_.vectorized_execution;
   exec_options.use_combiner = options_.shuffle_combiner;
   exec_options.max_task_attempts = options_.max_task_attempts;
+  exec_options.query_ctx = &query_ctx;
+  exec_options.task_timeout_millis = options_.task_timeout_millis;
+  exec_options.mapjoin_memory_budget_bytes =
+      options_.mapjoin_memory_budget_bytes;
   telemetry::Span* exec_span = nullptr;
   if (query_span != nullptr) {
     exec_span = query_span->StartChild("execute");
@@ -173,7 +234,13 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   PlanExecutor executor(fs_, catalog_, exec_options);
   Status exec_status = executor.Run(compiled, &result.counters, &result.jobs);
   if (exec_span != nullptr) exec_span->End();
-  MINIHIVE_RETURN_IF_ERROR(exec_status);
+  if (!exec_status.ok()) {
+    // A failed (or cancelled) query must not leak its scratch or attempt
+    // files: later queries on the session scan the same /tmp namespace.
+    CleanupTemps(scratch, plan.temp_dirs);
+    return exec_status;
+  }
+  result.counters.mapjoin_fallbacks += mapjoin_fallbacks;
 
   // Fetch: read the result files back (variant-coded SequenceFile rows).
   // Only committed task outputs ("part-*") are fetched — a straggler's
@@ -188,6 +255,8 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   for (const std::string& path : fs_->List(result_path + "/part-")) {
     Status last;
     for (int attempt = 0; attempt < max_fetch_attempts; ++attempt) {
+      last = query_ctx.CheckAlive();
+      if (!last.ok()) break;
       std::vector<Row> file_rows;
       auto reader =
           format->OpenReader(fs_, path, nullptr, formats::ReadOptions());
@@ -211,6 +280,8 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
       break;
     }
     if (!last.ok()) {
+      CleanupTemps(scratch, plan.temp_dirs);
+      if (last.IsCancelled() || last.IsDeadlineExceeded()) return last;
       return Status(last.code(), "result fetch of " + path + " failed after " +
                                      std::to_string(max_fetch_attempts) +
                                      " attempts: " + last.message());
@@ -226,17 +297,7 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
     fetch_span->End();
   }
 
-  if (!options_.keep_temps) {
-    std::vector<std::string> doomed = fs_->List(scratch + "/");
-    for (const std::string& path : doomed) {
-      MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
-    }
-    for (const std::string& dir : plan.temp_dirs) {
-      for (const std::string& path : fs_->List(dir + "/")) {
-        MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
-      }
-    }
-  }
+  CleanupTemps(scratch, plan.temp_dirs);
   finish_profile(&result);
   result.elapsed_millis = watch.ElapsedMillis();
   return result;

@@ -47,6 +47,20 @@ struct DriverOptions {
   /// with the last attempt's error. Transient DFS faults are retried; a
   /// deterministic failure still surfaces after this many tries.
   int max_task_attempts = 4;
+  /// Wall-clock deadline for the whole query (parse through fetch). The
+  /// query fails with DeadlineExceeded at the next cancellation point after
+  /// the deadline passes. 0 disables.
+  int64_t query_timeout_millis = 0;
+  /// Per-task-attempt deadline (straggler kill): an attempt running past it
+  /// is cooperatively killed and retried under max_task_attempts, counted
+  /// in tasks_timed_out. 0 disables.
+  int task_timeout_millis = 0;
+  /// Byte cap on each map-join operator's hash tables (like
+  /// hive.mapjoin.localtask.max.memory.usage). A build that exceeds it
+  /// fails with ResourceExhausted and the driver transparently re-executes
+  /// the query with map-join conversion disabled (the reduce-join backup
+  /// plan), counted in mapjoin_fallbacks. 0 = unlimited.
+  uint64_t mapjoin_memory_budget_bytes = 0;
   /// Keep intermediate files after the query (debugging).
   bool keep_temps = false;
   /// Collect a trace-span profile (driver phases, per-job spans and task
@@ -92,14 +106,34 @@ class Driver {
   Catalog* catalog() { return catalog_; }
   DriverOptions& options() { return options_; }
 
+  /// Installs the token every subsequent query checks at its cancellation
+  /// points. Cancel() from any thread makes the running query fail with a
+  /// typed Cancelled status within one row batch / index group. The session
+  /// stays usable: install a fresh token (or nullptr) before the next query.
+  void set_cancellation_token(std::shared_ptr<CancellationToken> token) {
+    token_ = std::move(token);
+  }
+
  private:
   Result<QueryResult> Run(std::string_view sql, bool execute);
+  /// One planning+execution pass. `disable_mapjoin` forces the reduce-join
+  /// backup plan (the fallback run); `mapjoin_fallbacks` is how many backup
+  /// runs preceded this one (recorded in counters and the profile).
+  Result<QueryResult> RunOnce(std::string_view sql, bool execute,
+                              bool explain_profile,
+                              const QueryContext& query_ctx,
+                              bool disable_mapjoin, int mapjoin_fallbacks);
+  /// Best-effort removal of a query's scratch and temp-dir files. Runs on
+  /// error paths too: a cancelled query must not leak attempt files.
+  void CleanupTemps(const std::string& scratch,
+                    const std::vector<std::string>& temp_dirs);
 
   dfs::FileSystem* fs_;
   Catalog* catalog_;
   DriverOptions options_;
   int query_counter_ = 0;
   std::shared_ptr<telemetry::Span> last_profile_;
+  std::shared_ptr<CancellationToken> token_;
 };
 
 }  // namespace minihive::ql

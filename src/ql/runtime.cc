@@ -78,6 +78,7 @@ class RowMapTask : public mr::MapTask {
     ctx.reader_host = split.locality_host;
     ctx.profile = profile_;
     ctx.counters = attempt_counters();
+    ctx.governor = governor();
 
     // The vectorized path handles eligible pipelines entirely (paper §6);
     // it reports NotImplemented when the pipeline does not qualify, in
@@ -103,12 +104,18 @@ class RowMapTask : public mr::MapTask {
     read_options.split_offset = split.offset;
     read_options.split_length = split.length;
     read_options.reader_host = split.locality_host;
+    read_options.governor = governor();
     MINIHIVE_ASSIGN_OR_RETURN(
         std::unique_ptr<formats::RowReader> reader,
         format->OpenReader(fs_, split.path, source.schema, read_options));
     Row row;
     uint64_t records_in = 0;
     while (true) {
+      // Row-batch-boundary cancellation point (the governed reader also
+      // checks per index group; this covers non-ORC formats).
+      if (governor() != nullptr && (records_in & 63u) == 0) {
+        MINIHIVE_RETURN_IF_ERROR(governor()->CheckAlive());
+      }
       MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
       if (!more) break;
       ++records_in;
@@ -211,6 +218,9 @@ PlanExecutor::PlanExecutor(dfs::FileSystem* fs, const Catalog* catalog,
 Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
                          std::vector<JobReport>* reports) {
   for (const MapRedJob& job : plan.jobs) {
+    if (options_.query_ctx != nullptr) {
+      MINIHIVE_RETURN_IF_ERROR(options_.query_ctx->CheckAlive());
+    }
     Stopwatch watch;
     mr::JobCounters counters;
     std::unique_ptr<exec::PipelineProfile> profile;
@@ -234,6 +244,9 @@ Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
       report.map_task_failures = counters.map_task_failures.load();
       report.reduce_task_failures = counters.reduce_task_failures.load();
       report.retried_task_millis = counters.retried_task_millis();
+      report.tasks_timed_out = counters.tasks_timed_out.load();
+      report.local_task_failures = counters.local_task_failures.load();
+      report.local_task_millis = counters.local_task_millis();
       reports->push_back(report);
     }
   }
@@ -288,20 +301,46 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
   }
   // The local task reads the small tables outside the engine's task retry
   // loop, so it gets its own bounded retries against transient read faults.
+  // Its attempts and wall time are accounted separately from engine tasks
+  // (local_task_failures / local_task_nanos).
   const int max_attempts = std::max(1, options_.max_task_attempts);
   for (const OpDesc* mj : mapjoins) {
+    Stopwatch local_watch;
     Status last;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
-      auto tables = exec::BuildMapJoinTables(fs_, *mj, resolver);
+      if (options_.query_ctx != nullptr) {
+        Status alive = options_.query_ctx->CheckAlive();
+        if (!alive.ok()) {
+          counters->queries_cancelled += 1;
+          last = alive;
+          break;
+        }
+      }
+      auto tables = exec::BuildMapJoinTables(
+          fs_, *mj, resolver, options_.query_ctx,
+          options_.mapjoin_memory_budget_bytes);
       if (tables.ok()) {
         (*mapjoin_tables)[mj->id] = std::move(*tables);
         last = Status::OK();
         break;
       }
       last = tables.status();
-      counters->map_task_failures += 1;
+      // A blown memory budget is determinate: retrying rebuilds the same
+      // oversized table. Fail straight through so the driver can fall back
+      // to the reduce-join backup plan. Same for a dead query.
+      if (last.IsResourceExhausted() || last.IsCancelled() ||
+          last.IsDeadlineExceeded()) {
+        break;
+      }
+      counters->local_task_failures += 1;
     }
+    counters->local_task_nanos +=
+        static_cast<int64_t>(local_watch.ElapsedMillis() * 1e6);
     if (!last.ok()) {
+      if (last.IsResourceExhausted() || last.IsCancelled() ||
+          last.IsDeadlineExceeded()) {
+        return last;
+      }
       return Status(last.code(), "map-join local task failed after " +
                                      std::to_string(max_attempts) +
                                      " attempts: " + last.message());
@@ -323,6 +362,8 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
   config.num_reducers = job.num_reducers;
   config.sort_ascending = job.sort_ascending;
   config.max_task_attempts = options_.max_task_attempts;
+  config.query_ctx = options_.query_ctx;
+  config.task_timeout_millis = options_.task_timeout_millis;
 
   if (options_.profile) config.parent_span = options_.query_span;
 

@@ -35,6 +35,16 @@ struct ExecutionOptions {
   /// Parent span for per-job spans ("job:<name>" children). Only consulted
   /// when `profile` is set; may be null even then.
   telemetry::Span* query_span = nullptr;
+  /// Query lifecycle: cancellation token + wall-clock deadline, threaded
+  /// into every job, task attempt and reader. Null = ungoverned.
+  const QueryContext* query_ctx = nullptr;
+  /// Per-task-attempt deadline (straggler kill + retry). 0 disables.
+  int task_timeout_millis = 0;
+  /// Byte cap on each map-join operator's hash tables. Exceeding it fails
+  /// the local task with ResourceExhausted (never retried — a determinate
+  /// failure), which the driver turns into a reduce-join fallback.
+  /// 0 = unlimited.
+  uint64_t mapjoin_memory_budget_bytes = 0;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.
@@ -48,6 +58,12 @@ struct JobReport {
   uint64_t map_task_failures = 0;
   uint64_t reduce_task_failures = 0;
   double retried_task_millis = 0;
+  /// Attempts cooperatively killed for exceeding task_timeout_millis.
+  uint64_t tasks_timed_out = 0;
+  /// Map-join local task: failed build attempts and total build wall time
+  /// (all attempts, including the successful one).
+  uint64_t local_task_failures = 0;
+  double local_task_millis = 0;
 };
 
 /// Executes a compiled plan job-by-job (respecting dependencies) on the

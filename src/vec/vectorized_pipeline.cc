@@ -401,6 +401,7 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
   read_options.split_offset = split.offset;
   read_options.split_length = split.length;
   read_options.reader_host = split.locality_host;
+  read_options.governor = ctx->governor;
   MINIHIVE_ASSIGN_OR_RETURN(
       std::unique_ptr<orc::OrcReader> reader,
       orc::OrcReader::Open(ctx->fs, split.path, read_options));
@@ -420,6 +421,11 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
 
   Row row;
   while (true) {
+    // Batch-boundary cancellation point (the reader also checks per index
+    // group, but filtering/aggregation below runs outside the reader).
+    if (ctx->governor != nullptr) {
+      MINIHIVE_RETURN_IF_ERROR(ctx->governor->CheckAlive());
+    }
     MINIHIVE_ASSIGN_OR_RETURN(bool more, reader->NextBatch(batch.get()));
     if (!more) break;
     if (ctx->counters != nullptr) {

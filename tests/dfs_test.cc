@@ -44,6 +44,39 @@ TEST(FileSystemTest, OpenUnclosedFileFails) {
   EXPECT_TRUE(fs.Open("/y").ok());
 }
 
+TEST(FileSystemTest, RenameReplacesExistingFile) {
+  // POSIX rename semantics: rename over an existing path replaces it. Task
+  // commit depends on this — when a commit dies partway and the task is
+  // retried, the retry's attempt file renames over the stale part file the
+  // earlier half-commit left behind, and the committed output wins.
+  FileSystem fs;
+  auto stale = std::move(fs.Create("/job/part-0")).ValueOrDie();
+  ASSERT_TRUE(stale->Append("stale attempt 0").ok());
+  ASSERT_TRUE(stale->Close().ok());
+
+  auto retry = std::move(fs.Create("/job/_attempt-1-0")).ValueOrDie();
+  ASSERT_TRUE(retry->Append("committed attempt 1").ok());
+  ASSERT_TRUE(retry->Close().ok());
+
+  ASSERT_TRUE(fs.Rename("/job/_attempt-1-0", "/job/part-0").ok());
+  EXPECT_FALSE(fs.Exists("/job/_attempt-1-0"));
+  auto reader = std::move(fs.Open("/job/part-0")).ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(reader->ReadAt(0, reader->Size(), &out).ok());
+  EXPECT_EQ(out, "committed attempt 1");
+  // Exactly one file remains: the replaced target, not a duplicate.
+  EXPECT_EQ(fs.List("/job/").size(), 1u);
+}
+
+TEST(FileSystemTest, RenameMissingSourceOrOpenFileFails) {
+  FileSystem fs;
+  EXPECT_TRUE(fs.Rename("/none", "/dst").IsNotFound());
+  auto open_file = std::move(fs.Create("/w")).ValueOrDie();
+  EXPECT_FALSE(fs.Rename("/w", "/dst").ok());  // Still open for write.
+  ASSERT_TRUE(open_file->Close().ok());
+  EXPECT_TRUE(fs.Rename("/w", "/dst").ok());
+}
+
 TEST(FileSystemTest, ListAndTotalSize) {
   FileSystem fs;
   for (const char* path : {"/tbl/p1", "/tbl/p2", "/other/q"}) {

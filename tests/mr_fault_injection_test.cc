@@ -186,6 +186,72 @@ TEST_F(FaultSweepTest, HighFaultRateNeverProducesWrongRows) {
   }
 }
 
+TEST_F(FaultSweepTest, DelayedReadsTimeOutAndRetryToSuccess) {
+  // Straggler injection: a stalled read makes its task attempt blow the
+  // per-attempt deadline; the engine must kill it (DeadlineExceeded), count
+  // it in tasks_timed_out, and retry it to success. The sweep contract is
+  // the usual one — identical rows or a typed error — plus evidence that
+  // the timeout→retry→success path actually ran.
+  const std::string sql =
+      "SELECT o_custkey, COUNT(*) AS cnt, SUM(o_amount) AS total "
+      "FROM orders GROUP BY o_custkey";
+  auto golden = Execute(sql);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  std::vector<std::string> want = Canonicalize(golden->rows);
+
+  auto run_with_timeout = [&](uint64_t seed) {
+    FaultConfig config;
+    config.seed = seed;
+    // Rare but decisive: one stalled read (1 s) pushes an attempt far past
+    // the 400 ms deadline; the retry redraws fresh delay decisions, so
+    // back-to-back stalls of the same task are unlikely. The deadline is
+    // generous enough that an undelayed attempt never trips it, even under
+    // sanitizer slowdown.
+    config.read_delay_probability = 0.04;
+    config.delay_millis = 1000;
+    config.path_filter = "/warehouse/orders";
+    FaultInjector injector(config);
+    fs_->set_fault_injector(&injector);
+    DriverOptions options;
+    options.num_workers = 2;
+    options.task_timeout_millis = 400;
+    Driver driver(fs_.get(), catalog_.get(), options);
+    auto result = driver.Execute(sql);
+    fs_->set_fault_injector(nullptr);
+    return std::make_pair(std::move(result),
+                          injector.stats().read_delays.load());
+  };
+
+  int successes = 0;
+  uint64_t delays_injected = 0;
+  uint64_t recovered_timeouts = 0;
+  for (int seed = 0; seed < 12; ++seed) {
+    auto [result, delays] = run_with_timeout(9000 + seed);
+    delays_injected += delays;
+    if (!result.ok()) {
+      // A task whose every attempt stalled dies with the timeout's typed
+      // error after max_task_attempts — acceptable, like any typed failure.
+      EXPECT_TRUE(result.status().IsDeadlineExceeded() ||
+                  result.status().IsIoError())
+          << "seed " << seed << ": " << result.status().ToString();
+      continue;
+    }
+    ++successes;
+    recovered_timeouts += result->counters.tasks_timed_out.load();
+    EXPECT_EQ(Canonicalize(result->rows), want)
+        << "seed " << seed << ": run succeeded with WRONG rows";
+    // Straggler kills are failures the job recovered from, so they must
+    // also show up in the generic failure counters.
+    EXPECT_GE(result->counters.map_task_failures.load() +
+                  result->counters.reduce_task_failures.load(),
+              result->counters.tasks_timed_out.load());
+  }
+  EXPECT_GT(delays_injected, 0u) << "no delay ever fired; sweep is vacuous";
+  EXPECT_GT(successes, 0) << "every seed failed; timeout retries not working";
+  EXPECT_GT(recovered_timeouts, 0u)
+      << "no successful run recovered from a timed-out attempt";
+}
+
 TEST_F(FaultSweepTest, WriteFaultsAreRetriedOrTyped) {
   // Append/close failures hit the shuffle spill and sink writers; a failed
   // write attempt must be retried from scratch, never half-committed.

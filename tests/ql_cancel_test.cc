@@ -1,0 +1,239 @@
+/// Query lifecycle governance end-to-end: cooperative cancellation and
+/// wall-clock deadlines must stop a running query with a *typed* error
+/// (Cancelled / DeadlineExceeded) promptly, leak no scratch or attempt
+/// files, and leave the session usable for the next query. Latency-injected
+/// reads (straggler simulation) make the queries slow enough that the
+/// cancel provably lands mid-execution.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/query_context.h"
+#include "common/stopwatch.h"
+#include "datagen/loader.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+class CancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dfs::FileSystemOptions fs_options;
+    fs_options.block_size = 64 * 1024;  // Several blocks => several splits.
+    fs_ = std::make_unique<dfs::FileSystem>(fs_options);
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+
+    std::vector<Row> orders;
+    for (int i = 0; i < 4000; ++i) {
+      orders.push_back({Value::Int(i), Value::Int(i % 128),
+                        Value::Double((i % 97) * 2.25),
+                        Value::String(i % 3 == 0 ? "open" : "done")});
+    }
+    ASSERT_TRUE(datagen::CreateAndLoad(
+                    catalog_.get(), "orders",
+                    *TypeDescription::Parse("struct<o_id:bigint,"
+                                            "o_custkey:bigint,o_amount:double,"
+                                            "o_status:string>"),
+                    formats::FormatKind::kOrcFile,
+                    codec::CompressionKind::kNone, orders, 3)
+                    .ok());
+  }
+
+  void TearDown() override { fs_->set_fault_injector(nullptr); }
+
+  /// Any file outside the warehouse after a query finished (or died) is a
+  /// leak: scratch dirs, attempt files, map-join spill dirs all live under
+  /// /tmp and must be cleaned on every exit path.
+  std::vector<std::string> LeakedTempFiles() { return fs_->List("/tmp/"); }
+
+  static constexpr const char* kScanSql =
+      "SELECT o_custkey, COUNT(*), SUM(o_amount) FROM orders "
+      "GROUP BY o_custkey";
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(CancelTest, PreCancelledTokenFailsBeforeExecution) {
+  Driver driver(fs_.get(), catalog_.get(), DriverOptions());
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  driver.set_cancellation_token(token);
+
+  auto result = driver.Execute(kScanSql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_TRUE(LeakedTempFiles().empty());
+
+  // The session survives: a fresh token (or none) and the query runs.
+  driver.set_cancellation_token(nullptr);
+  auto again = driver.Execute(kScanSql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(again->rows.empty());
+}
+
+TEST_F(CancelTest, CancelMidMapScanStopsPromptly) {
+  // Every ORC read of the orders table stalls 20 ms: the map phase runs for
+  // seconds if left alone. Cancel from another thread shortly after launch.
+  FaultConfig faults;
+  faults.read_delay_probability = 1.0;
+  faults.delay_millis = 20;
+  faults.path_filter = "/warehouse/orders";
+  FaultInjector injector(faults);
+  fs_->set_fault_injector(&injector);
+
+  Driver driver(fs_.get(), catalog_.get(), DriverOptions());
+  auto token = std::make_shared<CancellationToken>();
+  driver.set_cancellation_token(token);
+
+  Stopwatch watch;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    token->Cancel();
+  });
+  auto result = driver.Execute(kScanSql);
+  canceller.join();
+  fs_->set_fault_injector(nullptr);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_GT(injector.stats().read_delays.load(), 0u);
+  // Promptness: one row batch / index group past the cancel, not the whole
+  // scan. The full scan under these delays takes well over 5 seconds.
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+  EXPECT_TRUE(LeakedTempFiles().empty())
+      << "cancelled query leaked temp/attempt files";
+
+  driver.set_cancellation_token(nullptr);
+  auto again = driver.Execute(kScanSql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows.size(), 128u);
+}
+
+TEST_F(CancelTest, CancelMidReduceStopsPromptly) {
+  // Delays target the query's own scratch files (sink appends), so the map
+  // scan runs clean and the stall — and the cancel — lands in the reduce /
+  // sink phase. The sink writer buffers rows and flushes once per task, so
+  // each reduce task sees roughly one delayed append; 250 ms per append
+  // guarantees the reduce phase is still in flight when the 60 ms cancel
+  // fires, and the post-attempt governor check picks it up.
+  FaultConfig faults;
+  faults.append_delay_probability = 1.0;
+  faults.delay_millis = 250;
+  faults.path_filter = "/tmp/query-";
+  FaultInjector injector(faults);
+  fs_->set_fault_injector(&injector);
+
+  Driver driver(fs_.get(), catalog_.get(), DriverOptions());
+  auto token = std::make_shared<CancellationToken>();
+  driver.set_cancellation_token(token);
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    token->Cancel();
+  });
+  Stopwatch watch;
+  auto result = driver.Execute(kScanSql);
+  canceller.join();
+  fs_->set_fault_injector(nullptr);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+  EXPECT_TRUE(LeakedTempFiles().empty())
+      << "cancelled query leaked temp/attempt files";
+
+  driver.set_cancellation_token(nullptr);
+  auto again = driver.Execute(kScanSql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_F(CancelTest, CancelMidVectorizedOrcScan) {
+  // The vectorized pipeline polls the governor per batch and the ORC reader
+  // per index group; both paths must honour the token.
+  FaultConfig faults;
+  faults.read_delay_probability = 1.0;
+  faults.delay_millis = 20;
+  faults.path_filter = "/warehouse/orders";
+  FaultInjector injector(faults);
+  fs_->set_fault_injector(&injector);
+
+  DriverOptions options;
+  options.vectorized_execution = true;
+  Driver driver(fs_.get(), catalog_.get(), options);
+  auto token = std::make_shared<CancellationToken>();
+  driver.set_cancellation_token(token);
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    token->Cancel();
+  });
+  Stopwatch watch;
+  auto result = driver.Execute(kScanSql);
+  canceller.join();
+  fs_->set_fault_injector(nullptr);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+  EXPECT_TRUE(LeakedTempFiles().empty());
+}
+
+TEST_F(CancelTest, QueryDeadlineOverDelayedReadsNeverHangs) {
+  // The acceptance scenario: a query with a deadline over a delay-injected
+  // filesystem returns DeadlineExceeded (never hangs, never IoError).
+  FaultConfig faults;
+  faults.read_delay_probability = 1.0;
+  faults.delay_millis = 20;
+  faults.path_filter = "/warehouse/orders";
+  FaultInjector injector(faults);
+  fs_->set_fault_injector(&injector);
+
+  DriverOptions options;
+  options.query_timeout_millis = 100;
+  Driver driver(fs_.get(), catalog_.get(), options);
+
+  Stopwatch watch;
+  auto result = driver.Execute(kScanSql);
+  fs_->set_fault_injector(nullptr);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+  EXPECT_TRUE(LeakedTempFiles().empty());
+
+  // Without the deadline the same session answers the query.
+  driver.options().query_timeout_millis = 0;
+  auto again = driver.Execute(kScanSql);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows.size(), 128u);
+}
+
+TEST_F(CancelTest, GenerousDeadlineDoesNotDisturbResults) {
+  DriverOptions plain_options;
+  Driver plain(fs_.get(), catalog_.get(), plain_options);
+  auto want = plain.Execute(kScanSql);
+  ASSERT_TRUE(want.ok());
+
+  DriverOptions options;
+  options.query_timeout_millis = 60 * 1000;
+  options.task_timeout_millis = 30 * 1000;
+  Driver driver(fs_.get(), catalog_.get(), options);
+  auto token = std::make_shared<CancellationToken>();
+  driver.set_cancellation_token(token);  // Armed but never fired.
+  auto got = driver.Execute(kScanSql);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->rows.size(), want->rows.size());
+  EXPECT_EQ(got->counters.queries_cancelled.load(), 0u);
+  EXPECT_EQ(got->counters.tasks_timed_out.load(), 0u);
+}
+
+}  // namespace
+}  // namespace minihive::ql
