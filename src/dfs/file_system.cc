@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/cache.h"
+
 namespace minihive::dfs {
 
 namespace {
@@ -65,13 +67,15 @@ class ReadableFileImpl : public ReadableFile {
  public:
   ReadableFileImpl(FileSystem* fs, std::string path,
                    std::shared_ptr<const FileSystem::FileData> data,
-                   uint64_t block_size)
+                   uint64_t block_size, uint64_t generation)
       : fs_(fs),
         path_(std::move(path)),
         data_(std::move(data)),
-        block_size_(block_size) {}
+        block_size_(block_size),
+        generation_(generation) {}
 
   uint64_t Size() const override { return data_->contents.size(); }
+  uint64_t Generation() const override { return generation_; }
 
   Status ReadAt(uint64_t offset, uint64_t length, std::string* out,
                 int reader_host) override {
@@ -79,16 +83,81 @@ class ReadableFileImpl : public ReadableFile {
         length > data_->contents.size() - offset) {
       return Status::OutOfRange("read past end of file");
     }
-    if (FaultInjector* faults = fs_->fault_injector()) {
+    // The injector fires on every ReadAt — cache hit or miss — so a given
+    // seed produces the same per-site fault sequence whatever the cache
+    // holds; only the *source* of the bytes differs.
+    FaultInjector* faults = fs_->fault_injector();
+    uint64_t delays_before = 0, flips_before = 0;
+    if (faults != nullptr) {
+      delays_before = faults->stats().read_delays.load();
+      flips_before = faults->stats().byte_flips.load();
       faults->MaybeDelay(FaultSite::kRead, path_);
       MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kRead, path_));
     }
-    out->assign(data_->contents, offset, length);
-    if (FaultInjector* faults = fs_->fault_injector()) {
-      faults->MaybeFlip(path_, offset, out);
+
+    cache::Cache* bcache = nullptr;
+    if (cache::CacheManager* manager = fs_->cache_manager()) {
+      bcache = manager->block_cache();
     }
+
+    // Blocks the requested range covers whose bytes had to come from
+    // backing storage; candidates for (whole-block) population below.
+    std::vector<uint64_t> fill_blocks;
+    uint64_t cached_bytes = 0;
+    if (bcache == nullptr || length == 0) {
+      out->assign(data_->contents, offset, length);
+    } else {
+      out->clear();
+      out->reserve(length);
+      uint64_t first_block = offset / block_size_;
+      uint64_t last_block = (offset + length - 1) / block_size_;
+      for (uint64_t b = first_block; b <= last_block; ++b) {
+        uint64_t bstart = b * block_size_;
+        uint64_t rstart = std::max(offset, bstart);
+        uint64_t rend = std::min(offset + length,
+                                 std::min(bstart + block_size_,
+                                          (uint64_t)data_->contents.size()));
+        std::string key = cache::BlockCacheKey(path_, generation_, b);
+        if (cache::Cache::Handle* handle = bcache->Lookup(key)) {
+          auto block = cache::Cache::value<std::string>(handle);
+          out->append(*block, rstart - bstart, rend - rstart);
+          bcache->Release(handle);
+          cached_bytes += rend - rstart;
+        } else {
+          out->append(data_->contents, rstart, rend - rstart);
+          fill_blocks.push_back(b);
+        }
+      }
+    }
+    if (faults != nullptr) faults->MaybeFlip(path_, offset, out);
+
+    // Populate missed blocks — but never from a read the injector touched:
+    // a delayed read models a straggling replica and a flipped read
+    // delivered corrupt bytes, and neither may seed future hits. Block
+    // copies come straight from backing contents (pristine even when the
+    // delivered buffer was flipped), so the taint check is about honoring
+    // the fault model, not about corrupt cache entries.
+    bool tainted =
+        faults != nullptr &&
+        (faults->stats().read_delays.load() != delays_before ||
+         faults->stats().byte_flips.load() != flips_before);
+    if (bcache != nullptr && !tainted) {
+      for (uint64_t b : fill_blocks) {
+        uint64_t bstart = b * block_size_;
+        uint64_t blen = std::min<uint64_t>(block_size_,
+                                           data_->contents.size() - bstart);
+        std::string key = cache::BlockCacheKey(path_, generation_, b);
+        auto block =
+            std::make_shared<std::string>(data_->contents, bstart, blen);
+        bcache->InsertAndRelease(key, std::move(block),
+                                 blen + key.size() + cache::kEntryOverhead);
+      }
+    }
+
     IoStats& stats = fs_->stats();
     stats.bytes_read += length;
+    stats.bytes_read_cached += cached_bytes;
+    stats.bytes_read_physical += length - cached_bytes;
     stats.read_ops += 1;
     if (length > 0) {
       uint64_t first_block = offset / block_size_;
@@ -133,6 +202,7 @@ class ReadableFileImpl : public ReadableFile {
   std::string path_;
   std::shared_ptr<const FileSystem::FileData> data_;
   uint64_t block_size_;
+  uint64_t generation_;
 };
 
 }  // namespace
@@ -159,6 +229,7 @@ Result<std::unique_ptr<WritableFile>> FileSystem::Create(
   }
   auto data = std::make_shared<FileData>();
   files_[path] = data;
+  ++generations_[path];
   // Lazily fill block placement on close is unnecessary: blocks are placed
   // deterministically by index, so precomputation is not needed until Open().
   return std::unique_ptr<WritableFile>(
@@ -170,6 +241,7 @@ Result<std::shared_ptr<ReadableFile>> FileSystem::Open(const std::string& path) 
     MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kOpen, path));
   }
   std::shared_ptr<FileData> data;
+  uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = files_.find(path);
@@ -184,14 +256,19 @@ Result<std::shared_ptr<ReadableFile>> FileSystem::Open(const std::string& path) 
         data->block_hosts.push_back(PlaceBlock(b, seed));
       }
     }
+    auto gen_it = generations_.find(path);
+    if (gen_it != generations_.end()) generation = gen_it->second;
   }
-  return std::shared_ptr<ReadableFile>(
-      new ReadableFileImpl(this, path, data, options_.block_size));
+  return std::shared_ptr<ReadableFile>(new ReadableFileImpl(
+      this, path, data, options_.block_size, generation));
 }
 
 Status FileSystem::Delete(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
+  // A later file at this path is a different incarnation; bumping here (not
+  // just on re-create) also keeps still-open readers' generations stale.
+  ++generations_[path];
   return Status::OK();
 }
 
@@ -209,7 +286,17 @@ Status FileSystem::Rename(const std::string& from, const std::string& to) {
   // and wedge every subsequent attempt.
   files_[to] = std::move(it->second);
   files_.erase(it);
+  // Both endpoints change incarnation: `from` no longer exists and `to` now
+  // holds different bytes, so cache keys minted for either are dead.
+  ++generations_[from];
+  ++generations_[to];
   return Status::OK();
+}
+
+uint64_t FileSystem::PathGeneration(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = generations_.find(path);
+  return it == generations_.end() ? 0 : it->second;
 }
 
 bool FileSystem::Exists(const std::string& path) const {

@@ -14,13 +14,24 @@
 #include "common/result.h"
 #include "common/status.h"
 
+namespace minihive::cache {
+class CacheManager;
+}  // namespace minihive::cache
+
 namespace minihive::dfs {
 
 /// Cluster-wide I/O counters. The benchmarks report `bytes_read` as the
 /// paper's "amount of data read from HDFS" (Figure 10b); `remote_block_reads`
 /// backs the stripe/block-alignment ablation.
+///
+/// `bytes_read` stays the aggregate bytes *delivered to readers* (its
+/// pre-cache meaning), and splits into `bytes_read_physical` (served from
+/// backing storage) + `bytes_read_cached` (served from the session block
+/// cache): physical + cached == bytes_read always holds.
 struct IoStats {
   std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_read_physical{0};
+  std::atomic<uint64_t> bytes_read_cached{0};
   std::atomic<uint64_t> bytes_written{0};
   std::atomic<uint64_t> read_ops{0};
   std::atomic<uint64_t> local_block_reads{0};
@@ -28,6 +39,8 @@ struct IoStats {
 
   void Reset() {
     bytes_read = 0;
+    bytes_read_physical = 0;
+    bytes_read_cached = 0;
     bytes_written = 0;
     read_ops = 0;
     local_block_reads = 0;
@@ -82,6 +95,11 @@ class ReadableFile {
   /// Block layout of the byte range, for split computation and locality.
   virtual std::vector<BlockLocation> GetBlockLocations(uint64_t offset,
                                                        uint64_t length) const = 0;
+  /// The path's write-generation at Open() time: the filesystem bumps it on
+  /// every Create/Delete/Rename of the path, so `(path, Generation())` names
+  /// this exact file incarnation — the cache-key contract that makes stale
+  /// cached bytes unreachable after a rewrite.
+  virtual uint64_t Generation() const { return 0; }
 };
 
 /// An in-process filesystem that simulates HDFS: fixed-size blocks placed on
@@ -129,6 +147,23 @@ class FileSystem {
     return fault_injector_.load(std::memory_order_acquire);
   }
 
+  /// Installs (or clears, with nullptr) the session cache manager, same
+  /// ownership contract as the fault injector: not owned, must outlive its
+  /// installation, nullptr keeps caching entirely off the hot path. The
+  /// block cache intercepts ReadAt; the metadata cache is picked up by ORC
+  /// readers opened on this filesystem.
+  void set_cache_manager(cache::CacheManager* manager) {
+    cache_manager_.store(manager, std::memory_order_release);
+  }
+  cache::CacheManager* cache_manager() const {
+    return cache_manager_.load(std::memory_order_acquire);
+  }
+
+  /// Current write-generation of a path (0 if never written). Bumped by
+  /// Create/Delete and by Rename for both endpoints; survives deletion so a
+  /// re-created path gets a fresh generation, not a recycled one.
+  uint64_t PathGeneration(const std::string& path) const;
+
   // Implementation detail, public only so the file implementations in the
   // .cc can refer to it.
   struct FileData {
@@ -146,8 +181,12 @@ class FileSystem {
   FileSystemOptions options_;
   IoStats stats_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
+  std::atomic<cache::CacheManager*> cache_manager_{nullptr};
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<FileData>> files_;
+  // Per-path write counters (guarded by mutex_); entries are never removed,
+  // so deleted-then-recreated paths keep counting up.
+  std::map<std::string, uint64_t> generations_;
 };
 
 }  // namespace minihive::dfs

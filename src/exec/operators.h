@@ -102,6 +102,9 @@ struct TaskContext {
   /// The pipeline driver polls it at row/batch boundaries; readers check it
   /// per index group. Null = ungoverned.
   const TaskGovernor* governor = nullptr;
+  /// Let ORC readers use the session metadata cache (when one is installed
+  /// on the filesystem). Off = every task re-parses file tails.
+  bool use_metadata_cache = true;
 };
 
 /// Base runtime operator. The push-based model from Hive: parents call

@@ -49,6 +49,9 @@ struct ReadOptions {
   /// group) stops a long scan when the query is cancelled or a deadline
   /// passes. Null = ungoverned.
   const TaskGovernor* governor = nullptr;
+  /// Serve/populate the session ORC metadata cache (no-op for formats
+  /// without cached metadata, and when the filesystem has no cache).
+  bool use_metadata_cache = true;
 };
 
 /// Appends rows to one file; Close() finalizes the file.

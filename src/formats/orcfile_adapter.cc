@@ -52,6 +52,7 @@ Result<std::unique_ptr<RowReader>> OrcFileFormatAdapter::OpenReader(
   read_options.split_length = options.split_length;
   read_options.reader_host = options.reader_host;
   read_options.governor = options.governor;
+  read_options.use_metadata_cache = options.use_metadata_cache;
   MINIHIVE_ASSIGN_OR_RETURN(std::unique_ptr<orc::OrcReader> reader,
                             orc::OrcReader::Open(fs, path, read_options));
   return std::unique_ptr<RowReader>(new OrcFormatReader(std::move(reader)));

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "common/cache.h"
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/telemetry.h"
 #include "orc/stream_encoding.h"
 
@@ -26,6 +28,104 @@ telemetry::Counter* TailBytesRead() {
   static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
       "orc.reader.tail_bytes_read");
   return c;
+}
+telemetry::Counter* FooterParsesAvoided() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.footer_parses_avoided");
+  return c;
+}
+telemetry::Counter* IndexDecodesAvoided() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.index_decodes_avoided");
+  return c;
+}
+
+/// Watches the fault injector across a parse's reads: if any read in the
+/// watched window was delayed or byte-flipped, the parse is "tainted" and
+/// must not populate the metadata cache — the fault model says those bytes
+/// came from a misbehaving replica, and a cache hit would let one injected
+/// fault leak into every later query of the session.
+class TaintWatch {
+ public:
+  explicit TaintWatch(const FaultInjector* injector) : injector_(injector) {
+    if (injector_ != nullptr) {
+      delays_ = injector_->stats().read_delays.load();
+      flips_ = injector_->stats().byte_flips.load();
+    }
+  }
+  bool tainted() const {
+    return injector_ != nullptr &&
+           (injector_->stats().read_delays.load() != delays_ ||
+            injector_->stats().byte_flips.load() != flips_);
+  }
+
+ private:
+  const FaultInjector* injector_;
+  uint64_t delays_ = 0;
+  uint64_t flips_ = 0;
+};
+
+// Approximate heap charges for cached metadata objects. These only need to
+// be honest to within a small factor — the budget is a resource-control
+// bound, not an allocator audit.
+size_t ChargeOf(const ColumnStatistics& stats) {
+  return sizeof(ColumnStatistics) + stats.string_min().size() +
+         stats.string_max().size();
+}
+
+size_t ChargeOf(const std::vector<ColumnStatistics>& stats) {
+  size_t total = sizeof(stats);
+  for (const ColumnStatistics& s : stats) total += ChargeOf(s);
+  return total;
+}
+
+size_t CountTypeNodes(const TypeDescription* type) {
+  size_t n = 1;
+  for (const TypePtr& child : type->children()) {
+    n += CountTypeNodes(child.get());
+  }
+  return n;
+}
+
+size_t ChargeOf(const FileTail& tail) {
+  size_t total = sizeof(FileTail);
+  if (tail.schema != nullptr) {
+    total += CountTypeNodes(tail.schema.get()) * 64;
+  }
+  total += tail.stripes.size() * sizeof(StripeInformation);
+  total += ChargeOf(tail.file_stats);
+  for (const auto& per_stripe : tail.stripe_stats) {
+    total += ChargeOf(per_stripe);
+  }
+  return total;
+}
+
+size_t ChargeOf(const StripeFooter& footer) {
+  size_t total = sizeof(StripeFooter);
+  total += footer.streams.size() * sizeof(StreamInfo);
+  total += footer.encodings.size() * sizeof(ColumnEncoding);
+  total += footer.dictionary_sizes.size() * sizeof(uint32_t);
+  for (const auto& v : footer.instance_counts) {
+    total += sizeof(v) + v.size() * sizeof(uint64_t);
+  }
+  for (const auto& v : footer.nonnull_counts) {
+    total += sizeof(v) + v.size() * sizeof(uint64_t);
+  }
+  return total;
+}
+
+size_t ChargeOf(const StripeIndex& index) {
+  size_t total = sizeof(StripeIndex);
+  for (const auto& v : index.segment_ends) {
+    total += sizeof(v) + v.size() * sizeof(uint64_t);
+  }
+  for (const auto& v : index.segment_crcs) {
+    total += sizeof(v) + v.size() * sizeof(uint32_t);
+  }
+  for (const auto& v : index.group_stats) {
+    total += ChargeOf(v);
+  }
+  return total;
 }
 
 /// A maximal run of consecutive selected index groups [first, last].
@@ -269,13 +369,23 @@ struct ColumnNode {
 
 class OrcReader::Impl {
  public:
-  Impl(dfs::FileSystem* fs, std::shared_ptr<dfs::ReadableFile> file,
-       OrcReadOptions options)
-      : fs_(fs), file_(std::move(file)), options_(std::move(options)) {}
+  Impl(dfs::FileSystem* fs, std::string path,
+       std::shared_ptr<dfs::ReadableFile> file, OrcReadOptions options)
+      : fs_(fs),
+        path_(std::move(path)),
+        file_(std::move(file)),
+        options_(std::move(options)),
+        generation_(file_->Generation()) {
+    if (options_.use_metadata_cache) {
+      if (cache::CacheManager* manager = fs_->cache_manager()) {
+        mcache_ = manager->metadata_cache();
+      }
+    }
+  }
 
   Status Open() {
     MINIHIVE_RETURN_IF_ERROR(ReadTail());
-    root_.Build(tail_.schema.get());
+    root_.Build(tail_->schema.get());
     // Mark needed columns.
     root_.needed = true;
     if (options_.projected_fields.empty()) {
@@ -300,13 +410,13 @@ class OrcReader::Impl {
                              : options_.split_offset + options_.split_length;
     bool sarg_active = options_.use_index && options_.sarg != nullptr &&
                        !options_.sarg->empty();
-    for (size_t s = 0; s < tail_.stripes.size(); ++s) {
-      const StripeInformation& stripe = tail_.stripes[s];
+    for (size_t s = 0; s < tail_->stripes.size(); ++s) {
+      const StripeInformation& stripe = tail_->stripes[s];
       if (stripe.offset < options_.split_offset || stripe.offset >= split_end) {
         continue;
       }
       if (sarg_active &&
-          options_.sarg->CanSkip(TopLevelStats(tail_.stripe_stats[s]))) {
+          options_.sarg->CanSkip(TopLevelStats(tail_->stripe_stats[s]))) {
         ++stripes_skipped_;
         telemetry::MetricsRegistry::Global()
             .GetCounter("orc.reader.stripes_skipped")
@@ -318,7 +428,8 @@ class OrcReader::Impl {
     return Status::OK();
   }
 
-  const FileTail& tail() const { return tail_; }
+  const FileTail& tail() const { return *tail_; }
+  bool tail_cache_hit() const { return tail_cache_hit_; }
 
   Result<bool> NextRow(Row* row) {
     MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
@@ -369,8 +480,36 @@ class OrcReader::Impl {
   const std::vector<int>& projected() const { return projected_; }
 
  private:
-  /// Reads postscript, footer and metadata from the file tail.
+  /// Key of one cached metadata object of this file incarnation. The tag
+  /// separates entry kinds; `stripe_offset` is 0 for file-level entries.
+  std::string MetaKey(std::string_view tag, uint64_t stripe_offset) const {
+    return cache::KeyBuilder(tag)
+        .Add(path_)
+        .Add(generation_)
+        .Add(stripe_offset)
+        .Take();
+  }
+
+  /// Reads postscript, footer and metadata from the file tail — or serves
+  /// the whole parsed tail from the metadata cache, skipping every tail
+  /// read, CRC check, decompression, and deserialization.
   Status ReadTail() {
+    if (mcache_ != nullptr) {
+      std::string key = MetaKey("orc.tail", 0);
+      if (cache::Cache::Handle* handle = mcache_->Lookup(key)) {
+        // Pin for the reader's lifetime: the open file's metadata can't be
+        // evicted out from under a long scan (and the pin exercises the
+        // cache's pinned-entry protection under pressure).
+        tail_handle_.reset(mcache_, handle);
+        tail_ = cache::Cache::value<FileTail>(handle);
+        codec_ = codec::GetCodec(tail_->compression);
+        tail_cache_hit_ = true;
+        FooterParsesAvoided()->Increment();
+        return Status::OK();
+      }
+    }
+    TaintWatch taint(fs_->fault_injector());
+    auto tail = std::make_shared<FileTail>();
     uint64_t size = file_->Size();
     if (size < kOrcMagicLen + 2) return Status::Corruption("file too small");
     // Read a generous tail chunk to cover ps_len + postscript.
@@ -392,17 +531,17 @@ class OrcReader::Impl {
     MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&metadata_len));
     uint8_t codec_byte;
     MINIHIVE_RETURN_IF_ERROR(ps.GetByte(&codec_byte));
-    tail_.compression = static_cast<codec::CompressionKind>(codec_byte);
-    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.compression_unit));
-    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail_.row_index_stride));
-    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail_.footer_crc));
-    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail_.metadata_crc));
+    tail->compression = static_cast<codec::CompressionKind>(codec_byte);
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail->compression_unit));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetVarint64(&tail->row_index_stride));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail->footer_crc));
+    MINIHIVE_RETURN_IF_ERROR(ps.GetFixed32(&tail->metadata_crc));
     std::string_view magic;
     MINIHIVE_RETURN_IF_ERROR(ps.GetBytes(kOrcMagicLen, &magic));
     if (magic != std::string_view(kOrcMagic, kOrcMagicLen)) {
       return Status::Corruption("bad ORC postscript magic");
     }
-    codec_ = codec::GetCodec(tail_.compression);
+    codec_ = codec::GetCodec(tail->compression);
     // Guard each section length separately before summing: a corrupt varint
     // can be near 2^64, where the summed tail length would wrap around and
     // pass a naive `tail_length > size` check.
@@ -410,8 +549,8 @@ class OrcReader::Impl {
         footer_len + metadata_len > size) {
       return Status::Corruption("bad tail section length");
     }
-    tail_.tail_length = 1 + ps_len + footer_len + metadata_len;
-    if (tail_.tail_length > size) return Status::Corruption("bad tail length");
+    tail->tail_length = 1 + ps_len + footer_len + metadata_len;
+    if (tail->tail_length > size) return Status::Corruption("bad tail length");
 
     uint64_t footer_off = size - 1 - ps_len - footer_len;
     std::string footer_stored;
@@ -421,12 +560,12 @@ class OrcReader::Impl {
     TailBytesRead()->Add(footer_len);
     if (options_.verify_checksums) {
       MINIHIVE_RETURN_IF_ERROR(
-          VerifyCrc(footer_stored, tail_.footer_crc, "file footer"));
+          VerifyCrc(footer_stored, tail->footer_crc, "file footer"));
     }
     std::string footer_raw;
     MINIHIVE_RETURN_IF_ERROR(
         codec::DecompressUnits(codec_, footer_stored, &footer_raw));
-    MINIHIVE_RETURN_IF_ERROR(DeserializeFileFooter(footer_raw, &tail_));
+    MINIHIVE_RETURN_IF_ERROR(DeserializeFileFooter(footer_raw, tail.get()));
 
     uint64_t metadata_off = footer_off - metadata_len;
     std::string metadata_stored;
@@ -436,12 +575,25 @@ class OrcReader::Impl {
     TailBytesRead()->Add(metadata_len);
     if (options_.verify_checksums) {
       MINIHIVE_RETURN_IF_ERROR(
-          VerifyCrc(metadata_stored, tail_.metadata_crc, "file metadata"));
+          VerifyCrc(metadata_stored, tail->metadata_crc, "file metadata"));
     }
     std::string metadata_raw;
     MINIHIVE_RETURN_IF_ERROR(
         codec::DecompressUnits(codec_, metadata_stored, &metadata_raw));
-    return DeserializeFileMetadata(metadata_raw, &tail_);
+    MINIHIVE_RETURN_IF_ERROR(DeserializeFileMetadata(metadata_raw, tail.get()));
+    tail_ = std::move(tail);
+
+    // Populate only from a checksum-verified, fault-free parse: a cached
+    // tail is served without re-verification, so unverified or tainted
+    // bytes must never seed it.
+    if (mcache_ != nullptr && options_.verify_checksums && !taint.tainted()) {
+      std::string key = MetaKey("orc.tail", 0);
+      size_t charge = ChargeOf(*tail_) + key.size() + cache::kEntryOverhead;
+      if (cache::Cache::Handle* handle = mcache_->Insert(key, tail_, charge)) {
+        tail_handle_.reset(mcache_, handle);
+      }
+    }
+    return Status::OK();
   }
 
   /// Maps per-column-id statistics to per-top-level-field statistics for
@@ -449,7 +601,7 @@ class OrcReader::Impl {
   std::vector<ColumnStatistics> TopLevelStats(
       const std::vector<ColumnStatistics>& by_column_id) const {
     std::vector<ColumnStatistics> result;
-    for (const TypePtr& child : tail_.schema->children()) {
+    for (const TypePtr& child : tail_->schema->children()) {
       int id = child->column_id();
       if (id >= 0 && static_cast<size_t>(id) < by_column_id.size()) {
         result.push_back(by_column_id[id]);
@@ -483,27 +635,52 @@ class OrcReader::Impl {
   }
 
   Status LoadStripe(size_t stripe_index) {
-    const StripeInformation& info = tail_.stripes[stripe_index];
+    const StripeInformation& info = tail_->stripes[stripe_index];
     ++stripes_read_;
     telemetry::MetricsRegistry::Global()
         .GetCounter("orc.reader.stripes_read")
         ->Increment();
-    // Stripe footer.
-    std::string footer_stored;
-    MINIHIVE_RETURN_IF_ERROR(
-        file_->ReadAt(info.offset + info.index_length + info.data_length,
-                      info.footer_length, &footer_stored,
-                      options_.reader_host));
-    TailBytesRead()->Add(info.footer_length);
-    if (options_.verify_checksums) {
-      MINIHIVE_RETURN_IF_ERROR(
-          VerifyCrc(footer_stored, info.footer_crc, "stripe footer"));
+    // Stripe footer: cached parse, or fetch + verify + decompress + parse.
+    sf_handle_.reset();
+    stripe_footer_ = nullptr;
+    if (mcache_ != nullptr) {
+      std::string key = MetaKey("orc.sf", info.offset);
+      if (cache::Cache::Handle* handle = mcache_->Lookup(key)) {
+        sf_handle_.reset(mcache_, handle);
+        stripe_footer_ = cache::Cache::value<StripeFooter>(handle);
+        FooterParsesAvoided()->Increment();
+      }
     }
-    std::string footer_raw;
-    MINIHIVE_RETURN_IF_ERROR(
-        codec::DecompressUnits(codec_, footer_stored, &footer_raw));
-    MINIHIVE_RETURN_IF_ERROR(
-        StripeFooter::Deserialize(footer_raw, &stripe_footer_));
+    if (stripe_footer_ == nullptr) {
+      TaintWatch taint(fs_->fault_injector());
+      std::string footer_stored;
+      MINIHIVE_RETURN_IF_ERROR(
+          file_->ReadAt(info.offset + info.index_length + info.data_length,
+                        info.footer_length, &footer_stored,
+                        options_.reader_host));
+      TailBytesRead()->Add(info.footer_length);
+      if (options_.verify_checksums) {
+        MINIHIVE_RETURN_IF_ERROR(
+            VerifyCrc(footer_stored, info.footer_crc, "stripe footer"));
+      }
+      std::string footer_raw;
+      MINIHIVE_RETURN_IF_ERROR(
+          codec::DecompressUnits(codec_, footer_stored, &footer_raw));
+      auto footer = std::make_shared<StripeFooter>();
+      MINIHIVE_RETURN_IF_ERROR(
+          StripeFooter::Deserialize(footer_raw, footer.get()));
+      stripe_footer_ = std::move(footer);
+      if (mcache_ != nullptr && options_.verify_checksums &&
+          !taint.tainted()) {
+        std::string key = MetaKey("orc.sf", info.offset);
+        size_t charge =
+            ChargeOf(*stripe_footer_) + key.size() + cache::kEntryOverhead;
+        if (cache::Cache::Handle* handle =
+                mcache_->Insert(key, stripe_footer_, charge)) {
+          sf_handle_.reset(mcache_, handle);
+        }
+      }
+    }
 
     bool sarg_active = options_.use_index && options_.sarg != nullptr &&
                        !options_.sarg->empty();
@@ -512,27 +689,54 @@ class OrcReader::Impl {
     // Group selection.
     selected_groups_.clear();
     group_runs_.clear();
+    si_handle_.reset();
+    stripe_index_ = nullptr;
     if (sarg_active) {
-      // Row index: position pointers + per-group statistics.
-      std::string index_stored;
-      MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(info.offset, info.index_length,
-                                             &index_stored,
-                                             options_.reader_host));
-      IndexBytesRead()->Add(info.index_length);
-      if (options_.verify_checksums) {
-        MINIHIVE_RETURN_IF_ERROR(
-            VerifyCrc(index_stored, info.index_crc, "stripe index"));
+      // Row index: position pointers + per-group statistics. Same cache
+      // protocol as the stripe footer — a hit skips the index read, its CRC
+      // pass, and the whole position-pointer/statistics decode.
+      if (mcache_ != nullptr) {
+        std::string key = MetaKey("orc.si", info.offset);
+        if (cache::Cache::Handle* handle = mcache_->Lookup(key)) {
+          si_handle_.reset(mcache_, handle);
+          stripe_index_ = cache::Cache::value<StripeIndex>(handle);
+          IndexDecodesAvoided()->Increment();
+        }
       }
-      std::string index_raw;
-      MINIHIVE_RETURN_IF_ERROR(
-          codec::DecompressUnits(codec_, index_stored, &index_raw));
-      MINIHIVE_RETURN_IF_ERROR(
-          StripeIndex::Deserialize(index_raw, &stripe_index_));
-      for (uint32_t g = 0; g < stripe_footer_.num_groups; ++g) {
+      if (stripe_index_ == nullptr) {
+        TaintWatch taint(fs_->fault_injector());
+        std::string index_stored;
+        MINIHIVE_RETURN_IF_ERROR(file_->ReadAt(info.offset, info.index_length,
+                                               &index_stored,
+                                               options_.reader_host));
+        IndexBytesRead()->Add(info.index_length);
+        if (options_.verify_checksums) {
+          MINIHIVE_RETURN_IF_ERROR(
+              VerifyCrc(index_stored, info.index_crc, "stripe index"));
+        }
+        std::string index_raw;
+        MINIHIVE_RETURN_IF_ERROR(
+            codec::DecompressUnits(codec_, index_stored, &index_raw));
+        auto index = std::make_shared<StripeIndex>();
+        MINIHIVE_RETURN_IF_ERROR(
+            StripeIndex::Deserialize(index_raw, index.get()));
+        stripe_index_ = std::move(index);
+        if (mcache_ != nullptr && options_.verify_checksums &&
+            !taint.tainted()) {
+          std::string key = MetaKey("orc.si", info.offset);
+          size_t charge =
+              ChargeOf(*stripe_index_) + key.size() + cache::kEntryOverhead;
+          if (cache::Cache::Handle* handle =
+                  mcache_->Insert(key, stripe_index_, charge)) {
+            si_handle_.reset(mcache_, handle);
+          }
+        }
+      }
+      for (uint32_t g = 0; g < stripe_footer_->num_groups; ++g) {
         std::vector<ColumnStatistics> field_stats;
-        for (const TypePtr& child : tail_.schema->children()) {
+        for (const TypePtr& child : tail_->schema->children()) {
           field_stats.push_back(
-              stripe_index_.group_stats[child->column_id()][g]);
+              stripe_index_->group_stats[child->column_id()][g]);
         }
         if (options_.sarg->CanSkip(field_stats)) {
           ++groups_skipped_;
@@ -554,7 +758,7 @@ class OrcReader::Impl {
         i = j + 1;
       }
     } else {
-      for (uint32_t g = 0; g < stripe_footer_.num_groups; ++g) {
+      for (uint32_t g = 0; g < stripe_footer_->num_groups; ++g) {
         selected_groups_.push_back(g);
       }
     }
@@ -574,13 +778,13 @@ class OrcReader::Impl {
       node->encoding = ColumnEncoding::kDirect;
     }
     uint64_t stream_start = info.offset + info.index_length;
-    for (size_t si = 0; si < stripe_footer_.streams.size(); ++si) {
-      const StreamInfo& s = stripe_footer_.streams[si];
+    for (size_t si = 0; si < stripe_footer_->streams.size(); ++si) {
+      const StreamInfo& s = stripe_footer_->streams[si];
       ColumnNode* node = nodes[s.column];
       uint64_t start = stream_start;
       stream_start += s.length;
       if (!node->needed) continue;
-      node->encoding = stripe_footer_.encodings[s.column];
+      node->encoding = stripe_footer_->encodings[s.column];
       auto stream = std::make_unique<StreamReader>();
       if (IsStripeScoped(s.kind)) {
         // Dictionary streams are always read whole.
@@ -589,10 +793,10 @@ class OrcReader::Impl {
             options_.verify_checksums));
       } else if (ppd_mode_) {
         const std::vector<uint32_t>* crcs =
-            si < stripe_index_.segment_crcs.size()
-                ? &stripe_index_.segment_crcs[si]
+            si < stripe_index_->segment_crcs.size()
+                ? &stripe_index_->segment_crcs[si]
                 : nullptr;
-        stream->InitPpd(file_.get(), start, &stripe_index_.segment_ends[si],
+        stream->InitPpd(file_.get(), start, &stripe_index_->segment_ends[si],
                         crcs, &group_runs_, codec_, options_.reader_host,
                         options_.verify_checksums);
       } else {
@@ -625,7 +829,7 @@ class OrcReader::Impl {
         return Status::Corruption("dictionary data without lengths");
       }
       ColumnNode* node = nodes[column];
-      uint32_t dict_size = stripe_footer_.dictionary_sizes[column];
+      uint32_t dict_size = stripe_footer_->dictionary_sizes[column];
       std::vector<int64_t> lengths;
       MINIHIVE_RETURN_IF_ERROR(it->second->ReadInts(dict_size, &lengths));
       node->dict.resize(dict_size);
@@ -654,10 +858,10 @@ class OrcReader::Impl {
       ColumnNode* node = nodes[c];
       if (!node->needed) continue;
       MINIHIVE_RETURN_IF_ERROR(DecodeColumnGroup(
-          node, g, stripe_footer_.instance_counts[c][g],
-          stripe_footer_.nonnull_counts[c][g]));
+          node, g, stripe_footer_->instance_counts[c][g],
+          stripe_footer_->nonnull_counts[c][g]));
     }
-    current_group_rows_ = stripe_footer_.instance_counts[0][g];
+    current_group_rows_ = stripe_footer_->instance_counts[0][g];
     rows_in_group_cursor_ = 0;
     return Status::OK();
   }
@@ -915,9 +1119,22 @@ class OrcReader::Impl {
   friend class OrcReader;
 
   dfs::FileSystem* fs_;
+  std::string path_;
   std::shared_ptr<dfs::ReadableFile> file_;
   OrcReadOptions options_;
-  FileTail tail_;
+  // (path_, generation_) names this exact file incarnation — the metadata
+  // cache key. The cache pointer is null when the session has none or the
+  // options turned it off; all cache logic hides behind that test.
+  uint64_t generation_ = 0;
+  cache::Cache* mcache_ = nullptr;
+  bool tail_cache_hit_ = false;
+  // Pins for the currently-used cached objects (tail for the reader's whole
+  // life, footer/index for the current stripe). The shared_ptrs below keep
+  // the objects alive regardless; the pins additionally keep them resident.
+  cache::ScopedHandle tail_handle_;
+  cache::ScopedHandle sf_handle_;
+  cache::ScopedHandle si_handle_;
+  std::shared_ptr<const FileTail> tail_;
   const codec::Codec* codec_ = nullptr;
   ColumnNode root_;
   std::vector<int> projected_;
@@ -926,8 +1143,8 @@ class OrcReader::Impl {
   size_t stripe_iter_ = 0;
   bool stripe_loaded_ = false;
   bool ppd_mode_ = false;
-  StripeFooter stripe_footer_;
-  StripeIndex stripe_index_;
+  std::shared_ptr<const StripeFooter> stripe_footer_;
+  std::shared_ptr<const StripeIndex> stripe_index_;
   std::vector<uint32_t> selected_groups_;
   std::vector<GroupRun> group_runs_;
   size_t group_iter_ = 0;
@@ -953,7 +1170,7 @@ Result<std::unique_ptr<OrcReader>> OrcReader::Open(dfs::FileSystem* fs,
   MINIHIVE_ASSIGN_OR_RETURN(std::shared_ptr<dfs::ReadableFile> file,
                             fs->Open(path));
   auto impl =
-      std::make_unique<Impl>(fs, std::move(file), std::move(options));
+      std::make_unique<Impl>(fs, path, std::move(file), std::move(options));
   MINIHIVE_RETURN_IF_ERROR(impl->Open());
   return std::unique_ptr<OrcReader>(new OrcReader(std::move(impl)));
 }
@@ -978,5 +1195,6 @@ uint64_t OrcReader::stripes_skipped() const {
 }
 uint64_t OrcReader::groups_read() const { return impl_->groups_read(); }
 uint64_t OrcReader::groups_skipped() const { return impl_->groups_skipped(); }
+bool OrcReader::tail_cache_hit() const { return impl_->tail_cache_hit(); }
 
 }  // namespace minihive::orc

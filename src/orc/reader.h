@@ -38,6 +38,12 @@ struct OrcReadOptions {
   /// stripes remain readable. On by default: the CRC cost is tiny next to
   /// decompression.
   bool verify_checksums = true;
+  /// Serve parsed tails / stripe footers / stripe indexes from (and
+  /// populate) the session metadata cache, when the filesystem has one
+  /// installed. Entries are keyed by (path, generation), so a rewritten or
+  /// renamed file can never be served stale metadata. Only checksum-verified
+  /// parses populate the cache.
+  bool use_metadata_cache = true;
   /// Task lifecycle governor, checked before decoding each index group so a
   /// cancelled or out-of-time query stops a scan mid-stripe. Null =
   /// ungoverned.
@@ -79,6 +85,9 @@ class OrcReader {
   uint64_t stripes_skipped() const;
   uint64_t groups_read() const;
   uint64_t groups_skipped() const;
+  /// True when the file tail was served from the metadata cache (no tail
+  /// bytes were read or parsed by this reader).
+  bool tail_cache_hit() const;
 
  private:
   class Impl;

@@ -50,7 +50,21 @@ bool StripExplainProfile(std::string_view* sql) {
 }  // namespace
 
 Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
-    : fs_(fs), catalog_(catalog), options_(options) {}
+    : fs_(fs), catalog_(catalog), options_(options) {
+  if (options_.block_cache_bytes > 0 || options_.metadata_cache_bytes > 0) {
+    caches_ = std::make_unique<cache::CacheManager>(
+        options_.block_cache_bytes, options_.metadata_cache_bytes);
+    fs_->set_cache_manager(caches_.get());
+  }
+}
+
+Driver::~Driver() {
+  // Uninstall only if still the installed manager — a later Driver on the
+  // same filesystem may have replaced us (last-wins, like fault injectors).
+  if (caches_ != nullptr && fs_->cache_manager() == caches_.get()) {
+    fs_->set_cache_manager(nullptr);
+  }
+}
 
 Result<QueryResult> Driver::Execute(std::string_view sql) {
   return Run(sql, /*execute=*/true);
@@ -134,6 +148,16 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
         "query:" + std::to_string(query_id));
     plan_span = query_span->StartChild("plan");
   }
+  // Per-query cache deltas for the profile: instance stats are monotonic,
+  // so start-of-query snapshots make the attrs this query's own hits/misses
+  // even across many queries on one session.
+  cache::Cache* block_cache =
+      caches_ != nullptr ? caches_->block_cache() : nullptr;
+  cache::Cache* meta_cache =
+      caches_ != nullptr ? caches_->metadata_cache() : nullptr;
+  cache::Cache::StatsSnapshot block_before, meta_before;
+  if (block_cache != nullptr) block_before = block_cache->stats();
+  if (meta_cache != nullptr) meta_before = meta_cache->stats();
   auto finish_profile = [&](QueryResult* result) {
     if (query_span == nullptr) return;
     query_span->SetAttr("num_jobs", static_cast<int64_t>(result->num_jobs));
@@ -142,6 +166,18 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
     if (mapjoin_fallbacks > 0) {
       query_span->SetAttr("mapjoin_fallbacks",
                           static_cast<uint64_t>(mapjoin_fallbacks));
+    }
+    if (block_cache != nullptr) {
+      cache::Cache::StatsSnapshot now = block_cache->stats();
+      query_span->SetAttr("block_cache_hits", now.hits - block_before.hits);
+      query_span->SetAttr("block_cache_misses",
+                          now.misses - block_before.misses);
+    }
+    if (meta_cache != nullptr) {
+      cache::Cache::StatsSnapshot now = meta_cache->stats();
+      query_span->SetAttr("metadata_cache_hits", now.hits - meta_before.hits);
+      query_span->SetAttr("metadata_cache_misses",
+                          now.misses - meta_before.misses);
     }
     query_span->End();
     result->profile = query_span;

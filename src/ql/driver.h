@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cache.h"
 #include "mr/engine.h"
 #include "ql/catalog.h"
 #include "ql/runtime.h"
@@ -61,6 +62,18 @@ struct DriverOptions {
   /// the query with map-join conversion disabled (the reduce-join backup
   /// plan), counted in mapjoin_fallbacks. 0 = unlimited.
   uint64_t mapjoin_memory_budget_bytes = 0;
+  /// Session block cache: DFS blocks served from memory on repeated reads
+  /// (LLAP-style data caching). Strict budget in bytes; 0 disables. The
+  /// cache lives for the Driver's lifetime, so a query run twice in one
+  /// session reads most bytes without touching backing storage. Keep the
+  /// budget at >= 2x the DFS block size per shard (8 shards): entries are
+  /// whole blocks, and a block that outsizes its shard can never be cached.
+  uint64_t block_cache_bytes = 128ULL * 1024 * 1024;
+  /// Session ORC metadata cache: parsed file tails, stripe footers and
+  /// stripe indexes, keyed by (path, generation). Strict budget in bytes;
+  /// 0 disables. Typically a few percent of the block cache is plenty —
+  /// metadata is small but expensive to re-parse and re-verify.
+  uint64_t metadata_cache_bytes = 16ULL * 1024 * 1024;
   /// Keep intermediate files after the query (debugging).
   bool keep_temps = false;
   /// Collect a trace-span profile (driver phases, per-job spans and task
@@ -89,6 +102,7 @@ class Driver {
  public:
   Driver(dfs::FileSystem* fs, Catalog* catalog,
          DriverOptions options = DriverOptions());
+  ~Driver();
 
   /// Executes `sql`. An "EXPLAIN PROFILE <query>" statement executes the
   /// inner query with profiling forced on and returns the rendered span
@@ -131,6 +145,11 @@ class Driver {
   dfs::FileSystem* fs_;
   Catalog* catalog_;
   DriverOptions options_;
+  /// Session caches (block + ORC metadata), installed on fs_ for this
+  /// driver's lifetime. Installation is last-wins like the fault injector:
+  /// with several Drivers on one filesystem the most recent construction's
+  /// caches serve everyone, and the destructor only uninstalls itself.
+  std::unique_ptr<cache::CacheManager> caches_;
   int query_counter_ = 0;
   std::shared_ptr<telemetry::Span> last_profile_;
   std::shared_ptr<CancellationToken> token_;

@@ -54,11 +54,13 @@ class RowMapTask : public mr::MapTask {
   RowMapTask(dfs::FileSystem* fs, const std::vector<SourceRuntime>* sources,
              const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
                  mapjoin_tables,
-             bool vectorized, exec::PipelineProfile* profile)
+             bool vectorized, bool use_metadata_cache,
+             exec::PipelineProfile* profile)
       : fs_(fs),
         sources_(sources),
         mapjoin_tables_(mapjoin_tables),
         vectorized_(vectorized),
+        use_metadata_cache_(use_metadata_cache),
         profile_(profile) {}
 
   Status Run(const mr::InputSplit& split, int task_index, int attempt,
@@ -79,6 +81,7 @@ class RowMapTask : public mr::MapTask {
     ctx.profile = profile_;
     ctx.counters = attempt_counters();
     ctx.governor = governor();
+    ctx.use_metadata_cache = use_metadata_cache_;
 
     // The vectorized path handles eligible pipelines entirely (paper §6);
     // it reports NotImplemented when the pipeline does not qualify, in
@@ -105,6 +108,7 @@ class RowMapTask : public mr::MapTask {
     read_options.split_length = split.length;
     read_options.reader_host = split.locality_host;
     read_options.governor = governor();
+    read_options.use_metadata_cache = use_metadata_cache_;
     MINIHIVE_ASSIGN_OR_RETURN(
         std::unique_ptr<formats::RowReader> reader,
         format->OpenReader(fs_, split.path, source.schema, read_options));
@@ -131,6 +135,7 @@ class RowMapTask : public mr::MapTask {
   const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
       mapjoin_tables_;
   bool vectorized_;
+  bool use_metadata_cache_;
   exec::PipelineProfile* profile_;
 };
 
@@ -368,11 +373,13 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
   if (options_.profile) config.parent_span = options_.query_span;
 
   bool vectorized = options_.vectorized;
+  bool use_metadata_cache = options_.use_metadata_cache;
   dfs::FileSystem* fs = fs_;
-  config.map_factory = [fs, sources, mapjoin_tables, vectorized, profile]() {
+  config.map_factory = [fs, sources, mapjoin_tables, vectorized,
+                        use_metadata_cache, profile]() {
     return std::make_unique<RowMapTask>(fs, sources.get(),
                                         mapjoin_tables.get(), vectorized,
-                                        profile);
+                                        use_metadata_cache, profile);
   };
   if (job.num_reducers > 0) {
     const OpDesc* reduce_root = job.reduce_root.get();

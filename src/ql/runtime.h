@@ -45,6 +45,8 @@ struct ExecutionOptions {
   /// failure), which the driver turns into a reduce-join fallback.
   /// 0 = unlimited.
   uint64_t mapjoin_memory_budget_bytes = 0;
+  /// Let scan tasks use the session ORC metadata cache.
+  bool use_metadata_cache = true;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.

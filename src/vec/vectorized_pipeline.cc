@@ -402,6 +402,7 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
   read_options.split_length = split.length;
   read_options.reader_host = split.locality_host;
   read_options.governor = ctx->governor;
+  read_options.use_metadata_cache = ctx->use_metadata_cache;
   MINIHIVE_ASSIGN_OR_RETURN(
       std::unique_ptr<orc::OrcReader> reader,
       orc::OrcReader::Open(ctx->fs, split.path, read_options));

@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cache.h"
+
 namespace minihive::dfs {
 namespace {
+
+void WriteFile(FileSystem* fs, const std::string& path,
+               const std::string& contents) {
+  auto w = std::move(fs->Create(path)).ValueOrDie();
+  ASSERT_TRUE(w->Append(contents).ok());
+  ASSERT_TRUE(w->Close().ok());
+}
 
 TEST(FileSystemTest, CreateWriteReadDelete) {
   FileSystem fs;
@@ -156,6 +165,81 @@ TEST(FileSystemTest, BlockLocationsAndLocality) {
   }
   ASSERT_TRUE(r->ReadAt(0, 50, &out, stranger).ok());
   EXPECT_EQ(fs.stats().remote_block_reads.load(), 1u);
+}
+
+TEST(FileSystemTest, PathGenerationsBumpOnEveryRewrite) {
+  FileSystem fs;
+  EXPECT_EQ(fs.PathGeneration("/g"), 0u);
+  WriteFile(&fs, "/g", "v1");
+  uint64_t g1 = fs.PathGeneration("/g");
+  EXPECT_GT(g1, 0u);
+  auto r1 = std::move(fs.Open("/g")).ValueOrDie();
+  EXPECT_EQ(r1->Generation(), g1);
+
+  // Delete + recreate: the generation keeps counting up, never resets —
+  // a reader of the old incarnation never shares cache keys with the new.
+  ASSERT_TRUE(fs.Delete("/g").ok());
+  EXPECT_GT(fs.PathGeneration("/g"), g1);
+  WriteFile(&fs, "/g", "v2");
+  uint64_t g2 = fs.PathGeneration("/g");
+  EXPECT_GT(g2, g1);
+  auto r2 = std::move(fs.Open("/g")).ValueOrDie();
+  EXPECT_NE(r1->Generation(), r2->Generation());
+
+  // Rename bumps both endpoints.
+  WriteFile(&fs, "/src", "v3");
+  uint64_t src_gen = fs.PathGeneration("/src");
+  ASSERT_TRUE(fs.Rename("/src", "/g").ok());
+  EXPECT_GT(fs.PathGeneration("/g"), g2);
+  EXPECT_GT(fs.PathGeneration("/src"), src_gen);
+}
+
+TEST(FileSystemTest, BlockCacheServesRepeatReadsAndSplitsIoStats) {
+  FileSystemOptions options;
+  options.block_size = 100;
+  FileSystem fs(options);
+  cache::CacheManager caches(/*block_cache_bytes=*/1 << 20,
+                             /*metadata_cache_bytes=*/0);
+  fs.set_cache_manager(&caches);
+
+  WriteFile(&fs, "/c", std::string(250, 'k'));
+  auto r = std::move(fs.Open("/c")).ValueOrDie();
+  std::string out;
+  // Cold read: all physical, populates blocks 0-2.
+  ASSERT_TRUE(r->ReadAt(0, 250, &out).ok());
+  EXPECT_EQ(fs.stats().bytes_read_physical.load(), 250u);
+  EXPECT_EQ(fs.stats().bytes_read_cached.load(), 0u);
+
+  // Warm read of a sub-range: fully served from cached blocks.
+  ASSERT_TRUE(r->ReadAt(50, 150, &out).ok());
+  EXPECT_EQ(out, std::string(150, 'k'));
+  EXPECT_EQ(fs.stats().bytes_read_cached.load(), 150u);
+  EXPECT_EQ(fs.stats().bytes_read_physical.load(), 250u);
+  EXPECT_GT(caches.block_cache()->stats().hits, 0u);
+
+  // The aggregate invariant: physical + cached == bytes_read, always.
+  EXPECT_EQ(fs.stats().bytes_read_physical.load() +
+                fs.stats().bytes_read_cached.load(),
+            fs.stats().bytes_read.load());
+
+  // A second reader of the same path+generation shares the blocks.
+  auto r2 = std::move(fs.Open("/c")).ValueOrDie();
+  ASSERT_TRUE(r2->ReadAt(200, 50, &out).ok());
+  EXPECT_EQ(fs.stats().bytes_read_cached.load(), 200u);
+
+  fs.set_cache_manager(nullptr);
+}
+
+TEST(FileSystemTest, UncachedIoIsAllPhysical) {
+  FileSystem fs;
+  WriteFile(&fs, "/p", std::string(500, 'y'));
+  auto r = std::move(fs.Open("/p")).ValueOrDie();
+  std::string out;
+  ASSERT_TRUE(r->ReadAt(0, 500, &out).ok());
+  ASSERT_TRUE(r->ReadAt(0, 500, &out).ok());
+  EXPECT_EQ(fs.stats().bytes_read.load(), 1000u);
+  EXPECT_EQ(fs.stats().bytes_read_physical.load(), 1000u);
+  EXPECT_EQ(fs.stats().bytes_read_cached.load(), 0u);
 }
 
 TEST(FileSystemTest, RangeReadSpanningBlocksCountsEachBlock) {

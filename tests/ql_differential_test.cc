@@ -162,10 +162,27 @@ class DifferentialTest : public ::testing::Test {
                     .ok());
   }
 
-  Result<QueryResult> Execute(const std::string& sql, bool vectorized) {
+  Result<QueryResult> Execute(const std::string& sql, bool vectorized,
+                              uint64_t cache_seed = 0) {
     DriverOptions options;
     options.num_workers = 2;
     options.vectorized_execution = vectorized;
+    // Randomize the session caches per (seed, engine): caching is a pure
+    // performance layer, so any cache state — off, tiny (constant eviction
+    // churn), or default — must leave results untouched.
+    Random cache_rng(cache_seed * 2 + (vectorized ? 1 : 0));
+    switch (cache_rng.Uniform(3)) {
+      case 0:
+        options.block_cache_bytes = 0;
+        options.metadata_cache_bytes = 0;
+        break;
+      case 1:
+        options.block_cache_bytes = 16 * 1024;
+        options.metadata_cache_bytes = 4 * 1024;
+        break;
+      default:
+        break;  // Default budgets.
+    }
     Driver driver(fs_.get(), catalog_.get(), options);
     return driver.Execute(sql);
   }
@@ -220,10 +237,10 @@ TEST_F(DifferentialTest, RowAndVectorizedAgreeOnRandomQueries) {
     const std::string context =
         "seed " + std::to_string(seed) + ": " + sql;
 
-    auto row_result = Execute(sql, /*vectorized=*/false);
+    auto row_result = Execute(sql, /*vectorized=*/false, seed);
     ASSERT_TRUE(row_result.ok())
         << context << "\nrow engine: " << row_result.status().ToString();
-    auto vec_result = Execute(sql, /*vectorized=*/true);
+    auto vec_result = Execute(sql, /*vectorized=*/true, seed);
     ASSERT_TRUE(vec_result.ok())
         << context << "\nvectorized: " << vec_result.status().ToString();
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Check relative links in the repo's Markdown docs.
+
+Usage:
+    tools/check_doc_links.py [--root .]
+
+Scans every *.md file under the repo root (skipping build output and hidden
+directories) for Markdown links and validates the relative ones:
+
+  - [text](relative/path)        -> the target file/dir must exist
+  - [text](relative/path#anchor) -> the file must exist AND contain a
+                                    heading whose GitHub slug matches #anchor
+  - [text](#anchor)              -> the current file must contain the heading
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+the network — and absolute paths are rejected outright (they break on every
+checkout that isn't /).
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported as file:line).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", "third_party", "node_modules"}
+
+# [text](target) — non-greedy text, no nested parens in target.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)  # Inline formatting.
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # Links -> text.
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def collect_md_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith(".") and d not in SKIP_DIRS]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def anchors_of(md_path, cache):
+    if md_path in cache:
+        return cache[md_path]
+    anchors = set()
+    seen = {}
+    in_fence = False
+    try:
+        with open(md_path, "r", encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    slug = github_slug(m.group(1))
+                    # Duplicate headings get -1, -2, ... suffixes on GitHub.
+                    n = seen.get(slug, 0)
+                    seen[slug] = n + 1
+                    anchors.add(slug if n == 0 else f"{slug}-{n}")
+    except OSError:
+        pass
+    cache[md_path] = anchors
+    return anchors
+
+
+def check_file(md_path, root, anchor_cache):
+    failures = []
+    in_fence = False
+    with open(md_path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                rel = os.path.relpath(md_path, root)
+                if target.startswith("/"):
+                    failures.append(f"{rel}:{lineno}: absolute link "
+                                    f"'{target}' (use a relative path)")
+                    continue
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(md_path), path_part))
+                    if not os.path.exists(resolved):
+                        failures.append(
+                            f"{rel}:{lineno}: broken link '{target}' "
+                            f"(no such file: {os.path.relpath(resolved, root)})")
+                        continue
+                else:
+                    resolved = md_path
+                if anchor and resolved.lower().endswith(".md"):
+                    if anchor not in anchors_of(resolved, anchor_cache):
+                        failures.append(
+                            f"{rel}:{lineno}: broken anchor '{target}' "
+                            f"(no heading '#{anchor}' in "
+                            f"{os.path.relpath(resolved, root)})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate relative links in Markdown docs.")
+    parser.add_argument("--root", default=".",
+                        help="repo root to scan (default: cwd)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    md_files = collect_md_files(root)
+    if not md_files:
+        print(f"error: no .md files under {root}", file=sys.stderr)
+        return 1
+
+    anchor_cache = {}
+    failures = []
+    checked = 0
+    for md in md_files:
+        file_failures = check_file(md, root, anchor_cache)
+        failures.extend(file_failures)
+        checked += 1
+
+    if failures:
+        print(f"{len(failures)} broken link(s) across {checked} files:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"all links resolve across {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
