@@ -105,6 +105,9 @@ struct TaskContext {
   /// Let ORC readers use the session metadata cache (when one is installed
   /// on the filesystem). Off = every task re-parses file tails.
   bool use_metadata_cache = true;
+  /// Two-phase late-materialized vectorized ORC scans (filter columns
+  /// first, lazy columns only for surviving groups).
+  bool enable_late_materialization = true;
 };
 
 /// Base runtime operator. The push-based model from Hive: parents call

@@ -52,6 +52,10 @@ struct ReadOptions {
   /// Serve/populate the session ORC metadata cache (no-op for formats
   /// without cached metadata, and when the filesystem has no cache).
   bool use_metadata_cache = true;
+  /// Two-phase late-materialized vectorized scans (ORC only): evaluate
+  /// row-evaluable pushed-down predicates first, decode remaining projected
+  /// columns only for surviving groups. Ignored by row-mode readers.
+  bool enable_late_materialization = true;
 };
 
 /// Appends rows to one file; Close() finalizes the file.

@@ -8,6 +8,7 @@
 #include "common/fault.h"
 #include "common/telemetry.h"
 #include "orc/stream_encoding.h"
+#include "vec/simd.h"
 
 namespace minihive::orc {
 
@@ -37,6 +38,16 @@ telemetry::Counter* FooterParsesAvoided() {
 telemetry::Counter* IndexDecodesAvoided() {
   static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
       "orc.reader.index_decodes_avoided");
+  return c;
+}
+telemetry::Counter* RowsLateSkippedCounter() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.rows_late_skipped");
+  return c;
+}
+telemetry::Counter* LazyDecodesAvoidedCounter() {
+  static telemetry::Counter* c = telemetry::MetricsRegistry::Global().GetCounter(
+      "orc.reader.lazy_decodes_avoided");
   return c;
 }
 
@@ -410,6 +421,41 @@ class OrcReader::Impl {
                              : options_.split_offset + options_.split_length;
     bool sarg_active = options_.use_index && options_.sarg != nullptr &&
                        !options_.sarg->empty();
+    // Late-materialization setup: pushed-down leaves that can be evaluated
+    // row-by-row with exact engine semantics, restricted to projected
+    // primitive columns (filter columns are always projected by the planner;
+    // an unprojected column would force extra stream reads in row mode).
+    if (options_.enable_late_materialization && sarg_active) {
+      for (const LeafPredicate& leaf : options_.sarg->leaves()) {
+        if (leaf.column < 0 ||
+            static_cast<size_t>(leaf.column) >= root_.children.size()) {
+          continue;
+        }
+        if (std::find(projected_.begin(), projected_.end(), leaf.column) ==
+            projected_.end()) {
+          continue;
+        }
+        ColumnNode* node = root_.children[leaf.column].get();
+        if (!node->children.empty()) continue;
+        if (!SearchArgument::LeafRowEvaluable(leaf, node->type->kind())) {
+          continue;
+        }
+        row_leaves_.push_back({&leaf, node});
+      }
+      for (const RowLeaf& rl : row_leaves_) {
+        if (std::find(filter_nodes_.begin(), filter_nodes_.end(), rl.node) ==
+            filter_nodes_.end()) {
+          filter_nodes_.push_back(rl.node);
+        }
+      }
+      for (int field : projected_) {
+        ColumnNode* node = root_.children[field].get();
+        if (std::find(filter_nodes_.begin(), filter_nodes_.end(), node) ==
+            filter_nodes_.end()) {
+          lazy_nodes_.push_back(node);
+        }
+      }
+    }
     for (size_t s = 0; s < tail_->stripes.size(); ++s) {
       const StripeInformation& stripe = tail_->stripes[s];
       if (stripe.offset < options_.split_offset || stripe.offset >= split_end) {
@@ -458,14 +504,26 @@ class OrcReader::Impl {
 
   Result<bool> NextBatch(vec::VectorizedRowBatch* batch) {
     batch->Reset();
+    batch_mode_ = true;
     MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
     if (done_) return false;
     uint64_t avail = current_group_rows_ - rows_in_group_cursor_;
     int n = static_cast<int>(
         std::min<uint64_t>(avail, static_cast<uint64_t>(batch->capacity())));
+    // Phase-1 verdicts for this chunk of the group (null when the whole
+    // chunk survived phase 1 or late materialization is off).
+    const uint8_t* sel_mask =
+        group_sel_active_ ? group_sel_.data() + rows_in_group_cursor_
+                          : nullptr;
     for (size_t i = 0; i < projected_.size(); ++i) {
       ColumnNode* node = root_.children[projected_[i]].get();
-      MINIHIVE_RETURN_IF_ERROR(FillVector(node, batch, static_cast<int>(i), n));
+      MINIHIVE_RETURN_IF_ERROR(
+          FillVector(node, batch, static_cast<int>(i), n, sel_mask));
+    }
+    if (sel_mask != nullptr) {
+      batch->selected_size = simd::MaskToSelected(sel_mask, n,
+                                                  batch->selected.data());
+      batch->selected_in_use = true;
     }
     rows_in_group_cursor_ += n;
     batch->size = n;
@@ -476,6 +534,8 @@ class OrcReader::Impl {
   uint64_t stripes_skipped() const { return stripes_skipped_; }
   uint64_t groups_read() const { return groups_read_; }
   uint64_t groups_skipped() const { return groups_skipped_; }
+  uint64_t rows_late_skipped() const { return rows_late_skipped_; }
+  uint64_t lazy_decodes_avoided() const { return lazy_decodes_avoided_; }
 
   const std::vector<int>& projected() const { return projected_; }
 
@@ -685,6 +745,10 @@ class OrcReader::Impl {
     bool sarg_active = options_.use_index && options_.sarg != nullptr &&
                        !options_.sarg->empty();
     ppd_mode_ = sarg_active;
+    // Two-phase decode needs independently decodable groups (ppd mode) and
+    // at least one row-evaluable leaf; NextRow() keeps the eager path.
+    late_active_ = ppd_mode_ && !row_leaves_.empty();
+    group_sel_active_ = false;
 
     // Group selection.
     selected_groups_.clear();
@@ -852,6 +916,8 @@ class OrcReader::Impl {
   }
 
   Status DecodeGroup(uint32_t g) {
+    if (late_active_ && batch_mode_) return DecodeGroupLate(g);
+    group_sel_active_ = false;
     std::vector<ColumnNode*> nodes;
     root_.Flatten(&nodes);
     for (size_t c = 0; c < nodes.size(); ++c) {
@@ -864,6 +930,95 @@ class OrcReader::Impl {
     current_group_rows_ = stripe_footer_->instance_counts[0][g];
     rows_in_group_cursor_ = 0;
     return Status::OK();
+  }
+
+  /// Decodes the whole top-level subtree of `node` for group `g`.
+  Status DecodeSubtree(ColumnNode* node, uint32_t g) {
+    std::vector<ColumnNode*> nodes;
+    node->Flatten(&nodes);
+    for (ColumnNode* n : nodes) {
+      if (!n->needed) continue;
+      size_t c = static_cast<size_t>(n->column_id);
+      MINIHIVE_RETURN_IF_ERROR(
+          DecodeColumnGroup(n, g, stripe_footer_->instance_counts[c][g],
+                            stripe_footer_->nonnull_counts[c][g]));
+    }
+    return Status::OK();
+  }
+
+  /// Two-phase decode (PREWHERE-style late materialization). Phase 1
+  /// decodes only the filter columns and evaluates the row-evaluable leaves
+  /// into a per-row mask; phase 2 decodes the lazy columns only when some
+  /// row survived. An all-dead group costs just its filter-column decode.
+  Status DecodeGroupLate(uint32_t g) {
+    for (ColumnNode* node : filter_nodes_) {
+      MINIHIVE_RETURN_IF_ERROR(DecodeSubtree(node, g));
+    }
+    const uint64_t instances = stripe_footer_->instance_counts[0][g];
+    group_sel_.assign(instances, 1);
+    for (const RowLeaf& rl : row_leaves_) {
+      ColumnSlice slice = MakeSlice(rl.node, static_cast<int>(instances));
+      SearchArgument::EvaluateLeafRows(*rl.leaf, rl.node->type->kind(), slice,
+                                       group_sel_.data(), &leaf_scratch_);
+    }
+    uint64_t survivors = 0;
+    for (uint64_t i = 0; i < instances; ++i) survivors += group_sel_[i];
+    const uint64_t dead = instances - survivors;
+    if (dead > 0) {
+      rows_late_skipped_ += dead;
+      RowsLateSkippedCounter()->Add(dead);
+    }
+    if (survivors == 0) {
+      // The group is fully dead: skip every lazy decode and hand control
+      // back to EnsureGroup (zero rows => it advances to the next group).
+      lazy_decodes_avoided_ += lazy_nodes_.size();
+      LazyDecodesAvoidedCounter()->Add(lazy_nodes_.size());
+      group_sel_active_ = false;
+      current_group_rows_ = 0;
+      rows_in_group_cursor_ = 0;
+      return Status::OK();
+    }
+    for (ColumnNode* node : lazy_nodes_) {
+      MINIHIVE_RETURN_IF_ERROR(DecodeSubtree(node, g));
+    }
+    group_sel_active_ = dead > 0;
+    current_group_rows_ = instances;
+    rows_in_group_cursor_ = 0;
+    return Status::OK();
+  }
+
+  /// Packed-value view of a decoded filter column for row-level SARG
+  /// evaluation. String columns materialize views once per group (dict:
+  /// id -> entry; direct: span into the arena).
+  ColumnSlice MakeSlice(ColumnNode* node, int rows) {
+    ColumnSlice slice;
+    slice.rows = rows;
+    slice.present = node->present.empty() ? nullptr : node->present.data();
+    switch (node->type->kind()) {
+      case TypeKind::kFloat:
+      case TypeKind::kDouble:
+        slice.doubles = node->doubles.data();
+        break;
+      case TypeKind::kString: {
+        str_views_.resize(node->nonnull_count);
+        if (node->encoding == ColumnEncoding::kDictionary) {
+          for (uint64_t j = 0; j < node->nonnull_count; ++j) {
+            str_views_[j] = node->dict[static_cast<size_t>(node->ints[j])];
+          }
+        } else {
+          for (uint64_t j = 0; j < node->nonnull_count; ++j) {
+            auto [off, len] = node->str_spans[j];
+            str_views_[j] = std::string_view(node->arena).substr(off, len);
+          }
+        }
+        slice.strings = str_views_.data();
+        break;
+      }
+      default:
+        slice.longs = node->ints.data();
+        break;
+    }
+    return slice;
   }
 
   Status DecodeColumnGroup(ColumnNode* node, uint32_t g, uint64_t instances,
@@ -1044,9 +1199,13 @@ class OrcReader::Impl {
 
   /// Copies n rows of a primitive top-level column into a batch vector
   /// (paper §6.5: the reader deserializes into column vectors and sets the
-  /// no-null flag).
+  /// no-null flag). `sel_mask` (phase-1 verdicts for these n rows, or null)
+  /// lets string columns skip arena copies for rows that are already dead;
+  /// numeric columns copy unconditionally — the copy is cheaper than a
+  /// branch, and the packed-value cursors must advance either way.
   Status FillVector(ColumnNode* node, vec::VectorizedRowBatch* batch,
-                    int vector_index, int n) {
+                    int vector_index, int n,
+                    const uint8_t* sel_mask = nullptr) {
     bool no_nulls = node->present.empty();
     vec::ColumnVector* base = batch->columns[vector_index].get();
     if (!no_nulls) {
@@ -1101,6 +1260,11 @@ class OrcReader::Impl {
             continue;
           }
           size_t j = node->nn_cur++;
+          if (sel_mask != nullptr && sel_mask[i] == 0) {
+            // Dead row: keep offsets defined but skip the byte copy.
+            vec->SetVal(i, std::string_view());
+            continue;
+          }
           if (dict) {
             vec->SetVal(i, node->dict[static_cast<size_t>(node->ints[j])]);
           } else {
@@ -1155,10 +1319,27 @@ class OrcReader::Impl {
   std::map<uint32_t, std::unique_ptr<StreamReader>> dict_data_tmp_;
   std::map<uint32_t, std::unique_ptr<StreamReader>> dict_length_tmp_;
 
+  // Late materialization (batch mode only).
+  struct RowLeaf {
+    const LeafPredicate* leaf;
+    ColumnNode* node;
+  };
+  std::vector<RowLeaf> row_leaves_;
+  std::vector<ColumnNode*> filter_nodes_;  // Decoded in phase 1.
+  std::vector<ColumnNode*> lazy_nodes_;    // Decoded only if rows survive.
+  bool batch_mode_ = false;
+  bool late_active_ = false;
+  bool group_sel_active_ = false;  // Current group has a partial selection.
+  std::vector<uint8_t> group_sel_;  // Per-row phase-1 verdicts (group-rel).
+  std::vector<uint8_t> leaf_scratch_;
+  std::vector<std::string_view> str_views_;
+
   uint64_t stripes_read_ = 0;
   uint64_t stripes_skipped_ = 0;
   uint64_t groups_read_ = 0;
   uint64_t groups_skipped_ = 0;
+  uint64_t rows_late_skipped_ = 0;
+  uint64_t lazy_decodes_avoided_ = 0;
 };
 
 OrcReader::OrcReader(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -1195,6 +1376,12 @@ uint64_t OrcReader::stripes_skipped() const {
 }
 uint64_t OrcReader::groups_read() const { return impl_->groups_read(); }
 uint64_t OrcReader::groups_skipped() const { return impl_->groups_skipped(); }
+uint64_t OrcReader::rows_late_skipped() const {
+  return impl_->rows_late_skipped();
+}
+uint64_t OrcReader::lazy_decodes_avoided() const {
+  return impl_->lazy_decodes_avoided();
+}
 bool OrcReader::tail_cache_hit() const { return impl_->tail_cache_hit(); }
 
 }  // namespace minihive::orc

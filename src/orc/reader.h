@@ -48,6 +48,12 @@ struct OrcReadOptions {
   /// cancelled or out-of-time query stops a scan mid-stripe. Null =
   /// ungoverned.
   const TaskGovernor* governor = nullptr;
+  /// Two-phase (PREWHERE-style) vectorized reads: row-evaluable pushed-down
+  /// leaves are first evaluated on just the columns they reference, then the
+  /// remaining projected columns are decoded only for groups with surviving
+  /// rows; the row-level selection is handed to the batch via selected[].
+  /// Only affects NextBatch() with an active SARG; NextRow() stays eager.
+  bool enable_late_materialization = true;
 };
 
 /// Reads one ORC file: row-at-a-time via NextRow() or in vectorized batches
@@ -85,6 +91,11 @@ class OrcReader {
   uint64_t stripes_skipped() const;
   uint64_t groups_read() const;
   uint64_t groups_skipped() const;
+  /// Rows rejected by phase-1 (row-level) predicate evaluation before the
+  /// lazy columns were materialized.
+  uint64_t rows_late_skipped() const;
+  /// Per-column group decodes skipped because phase 1 left a group empty.
+  uint64_t lazy_decodes_avoided() const;
   /// True when the file tail was served from the metadata cache (no tail
   /// bytes were read or parsed by this reader).
   bool tail_cache_hit() const;

@@ -1,5 +1,7 @@
 #include "orc/sarg.h"
 
+#include "vec/simd.h"
+
 namespace minihive::orc {
 
 namespace {
@@ -76,6 +78,17 @@ TruthValue SearchArgument::EvaluateLeaf(const LeafPredicate& leaf,
   }
   // Comparisons never match a unit that is entirely NULL.
   if (stats.num_values() == 0) return TruthValue::kNo;
+  // IN () matches nothing; without this, the range probe below would fail
+  // on the null probe value and leak a kMaybe for a predicate that is
+  // definitely false.
+  if (leaf.op == PredicateOp::kIn && leaf.in_list.empty()) {
+    return TruthValue::kNo;
+  }
+  // BETWEEN with inverted bounds is an empty range.
+  if (leaf.op == PredicateOp::kBetween &&
+      leaf.literal.Compare(leaf.literal2) > 0) {
+    return TruthValue::kNo;
+  }
   Value min, max;
   if (!GetRange(stats, leaf.op == PredicateOp::kIn && !leaf.in_list.empty()
                            ? leaf.in_list.front()
@@ -93,6 +106,235 @@ TruthValue SearchArgument::EvaluateLeaf(const LeafPredicate& leaf,
     return TruthValue::kNo;
   }
   return CompareAgainstRange(leaf.op, leaf.literal, leaf.literal2, min, max);
+}
+
+namespace {
+
+bool IsIntKind(TypeKind kind) {
+  return kind == TypeKind::kBoolean || kind == TypeKind::kTinyInt ||
+         kind == TypeKind::kSmallInt || kind == TypeKind::kInt ||
+         kind == TypeKind::kBigInt;
+}
+
+bool IsDoubleKind(TypeKind kind) {
+  return kind == TypeKind::kFloat || kind == TypeKind::kDouble;
+}
+
+bool IsNumericValue(const Value& v) { return v.is_int() || v.is_double(); }
+
+bool IsComparisonOp(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEquals:
+    case PredicateOp::kNotEquals:
+    case PredicateOp::kLessThan:
+    case PredicateOp::kLessThanEquals:
+    case PredicateOp::kGreaterThan:
+    case PredicateOp::kGreaterThanEquals:
+      return true;
+    default:
+      return false;
+  }
+}
+
+simd::Cmp ToSimdCmp(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEquals: return simd::Cmp::kEq;
+    case PredicateOp::kNotEquals: return simd::Cmp::kNe;
+    case PredicateOp::kLessThan: return simd::Cmp::kLt;
+    case PredicateOp::kLessThanEquals: return simd::Cmp::kLe;
+    case PredicateOp::kGreaterThan: return simd::Cmp::kGt;
+    default: return simd::Cmp::kGe;
+  }
+}
+
+/// ANDs pred's verdict into mask for each row. pred receives the PACKED
+/// value index for non-null rows; NULL rows are dropped (SQL: a comparison
+/// against NULL is not true).
+template <typename Pred>
+void AndNonNullRows(const ColumnSlice& slice, uint8_t* mask, Pred pred) {
+  if (!slice.present) {
+    for (int i = 0; i < slice.rows; ++i) mask[i] &= pred(i) ? 1 : 0;
+    return;
+  }
+  int nn = 0;
+  for (int i = 0; i < slice.rows; ++i) {
+    uint8_t keep = 0;
+    if (slice.present[i]) {
+      keep = pred(nn) ? 1 : 0;
+      ++nn;
+    }
+    mask[i] &= keep;
+  }
+}
+
+template <typename T>
+bool CompareRow(PredicateOp op, T value, T literal) {
+  switch (op) {
+    case PredicateOp::kEquals: return value == literal;
+    case PredicateOp::kNotEquals: return value != literal;
+    case PredicateOp::kLessThan: return value < literal;
+    case PredicateOp::kLessThanEquals: return value <= literal;
+    case PredicateOp::kGreaterThan: return value > literal;
+    default: return value >= literal;
+  }
+}
+
+}  // namespace
+
+bool SearchArgument::LeafRowEvaluable(const LeafPredicate& leaf,
+                                      TypeKind kind) {
+  const bool int_col = IsIntKind(kind);
+  const bool double_col = IsDoubleKind(kind);
+  const bool string_col = kind == TypeKind::kString;
+  if (!int_col && !double_col && !string_col) return false;
+  switch (leaf.op) {
+    case PredicateOp::kIsNull:
+    case PredicateOp::kIsNotNull:
+      return true;
+    case PredicateOp::kBetween:
+      // The engine evaluates int-column BETWEEN with int64 comparisons only
+      // when both bounds are ints; everything numeric otherwise runs in
+      // double. Mirror that exactly.
+      if (int_col) return leaf.literal.is_int() && leaf.literal2.is_int();
+      if (double_col) {
+        return IsNumericValue(leaf.literal) && IsNumericValue(leaf.literal2);
+      }
+      return false;
+    case PredicateOp::kIn:
+      for (const Value& v : leaf.in_list) {
+        if (int_col && !v.is_int()) return false;
+        if (double_col && !IsNumericValue(v)) return false;
+        if (string_col && !v.is_string()) return false;
+      }
+      return true;
+    default:
+      if (!IsComparisonOp(leaf.op)) return false;
+      if (int_col) return leaf.literal.is_int();
+      if (double_col) return IsNumericValue(leaf.literal);
+      return leaf.literal.is_string();
+  }
+}
+
+void SearchArgument::EvaluateLeafRows(const LeafPredicate& leaf,
+                                      TypeKind kind, const ColumnSlice& slice,
+                                      uint8_t* mask,
+                                      std::vector<uint8_t>* scratch) {
+  const int n = slice.rows;
+  if (leaf.op == PredicateOp::kIsNull) {
+    for (int i = 0; i < n; ++i) {
+      mask[i] &= slice.present ? (slice.present[i] ? 0 : 1) : 0;
+    }
+    return;
+  }
+  if (leaf.op == PredicateOp::kIsNotNull) {
+    if (!slice.present) return;  // Nothing is null: every row passes.
+    for (int i = 0; i < n; ++i) mask[i] &= slice.present[i] ? 1 : 0;
+    return;
+  }
+
+  if (IsIntKind(kind)) {
+    const int64_t* vals = slice.longs;
+    if (IsComparisonOp(leaf.op)) {
+      const int64_t lit = leaf.literal.AsInt();
+      if (!slice.present) {
+        scratch->resize(static_cast<size_t>(n));
+        simd::CompareMaskI64(ToSimdCmp(leaf.op), vals, lit, n,
+                             scratch->data());
+        simd::AndMask(scratch->data(), n, mask);
+      } else {
+        AndNonNullRows(slice, mask, [&](int nn) {
+          return CompareRow<int64_t>(leaf.op, vals[nn], lit);
+        });
+      }
+      return;
+    }
+    if (leaf.op == PredicateOp::kBetween) {
+      const int64_t lo = leaf.literal.AsInt();
+      const int64_t hi = leaf.literal2.AsInt();
+      if (!slice.present) {
+        scratch->resize(static_cast<size_t>(n));
+        simd::BetweenMaskI64(vals, lo, hi, n, scratch->data());
+        simd::AndMask(scratch->data(), n, mask);
+      } else {
+        AndNonNullRows(slice, mask, [&](int nn) {
+          return vals[nn] >= lo && vals[nn] <= hi;
+        });
+      }
+      return;
+    }
+    // kIn: linear probe — pushed-down lists are short.
+    AndNonNullRows(slice, mask, [&](int nn) {
+      for (const Value& v : leaf.in_list) {
+        if (vals[nn] == v.AsInt()) return true;
+      }
+      return false;
+    });
+    return;
+  }
+
+  if (IsDoubleKind(kind)) {
+    const double* vals = slice.doubles;
+    if (IsComparisonOp(leaf.op)) {
+      const double lit = leaf.literal.AsDouble();
+      if (!slice.present) {
+        scratch->resize(static_cast<size_t>(n));
+        simd::CompareMaskF64(ToSimdCmp(leaf.op), vals, lit, n,
+                             scratch->data());
+        simd::AndMask(scratch->data(), n, mask);
+      } else {
+        AndNonNullRows(slice, mask, [&](int nn) {
+          return CompareRow<double>(leaf.op, vals[nn], lit);
+        });
+      }
+      return;
+    }
+    if (leaf.op == PredicateOp::kBetween) {
+      const double lo = leaf.literal.AsDouble();
+      const double hi = leaf.literal2.AsDouble();
+      if (!slice.present) {
+        scratch->resize(static_cast<size_t>(n));
+        simd::BetweenMaskF64(vals, lo, hi, n, scratch->data());
+        simd::AndMask(scratch->data(), n, mask);
+      } else {
+        AndNonNullRows(slice, mask, [&](int nn) {
+          return vals[nn] >= lo && vals[nn] <= hi;
+        });
+      }
+      return;
+    }
+    AndNonNullRows(slice, mask, [&](int nn) {
+      for (const Value& v : leaf.in_list) {
+        if (vals[nn] == v.AsDouble()) return true;
+      }
+      return false;
+    });
+    return;
+  }
+
+  // Strings.
+  const std::string_view* vals = slice.strings;
+  if (IsComparisonOp(leaf.op)) {
+    const std::string& lit = leaf.literal.AsString();
+    const PredicateOp op = leaf.op;
+    AndNonNullRows(slice, mask, [&](int nn) {
+      int c = vals[nn].compare(lit);
+      switch (op) {
+        case PredicateOp::kEquals: return c == 0;
+        case PredicateOp::kNotEquals: return c != 0;
+        case PredicateOp::kLessThan: return c < 0;
+        case PredicateOp::kLessThanEquals: return c <= 0;
+        case PredicateOp::kGreaterThan: return c > 0;
+        default: return c >= 0;
+      }
+    });
+    return;
+  }
+  AndNonNullRows(slice, mask, [&](int nn) {
+    for (const Value& v : leaf.in_list) {
+      if (vals[nn] == v.AsString()) return true;
+    }
+    return false;
+  });
 }
 
 bool SearchArgument::CanSkip(

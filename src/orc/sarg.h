@@ -1,9 +1,12 @@
 #ifndef MINIHIVE_ORC_SARG_H_
 #define MINIHIVE_ORC_SARG_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/types.h"
 #include "common/value.h"
 #include "orc/statistics.h"
 
@@ -34,6 +37,18 @@ struct LeafPredicate {
 /// Three-valued result of evaluating a predicate against statistics.
 enum class TruthValue { kNo, kMaybe };
 
+/// A decoded index group's worth of one column, in the reader's packed
+/// layout: `present[i]` (group-relative row i) says whether the row is
+/// non-null (nullptr present = no nulls), and exactly one of
+/// longs/doubles/strings holds the packed non-null values in row order.
+struct ColumnSlice {
+  const uint8_t* present = nullptr;
+  const int64_t* longs = nullptr;
+  const double* doubles = nullptr;
+  const std::string_view* strings = nullptr;
+  int rows = 0;
+};
+
 /// A conjunction of leaf predicates pushed down to the ORC reader (paper
 /// §4.2: "the query processing engine of Hive can push certain predicates to
 /// the reader of an ORC file"). Evaluated against file-, stripe-, and
@@ -52,6 +67,23 @@ class SearchArgument {
   /// Evaluates one leaf against one column's statistics.
   static TruthValue EvaluateLeaf(const LeafPredicate& leaf,
                                  const ColumnStatistics& stats);
+
+  /// True when `leaf` can be evaluated row-by-row against a decoded column
+  /// of the given type with EXACTLY the engine's filter semantics (so a row
+  /// it rejects is guaranteed rejected by the downstream Filter operator).
+  /// Row evaluation only claims exact type-family matches; anything else
+  /// stays group-level-only.
+  static bool LeafRowEvaluable(const LeafPredicate& leaf, TypeKind kind);
+
+  /// Phase-1 late materialization: ANDs `leaf`'s row-level verdicts into
+  /// `mask` (one byte per group-relative row; nonzero = still alive).
+  /// Comparison leaves reject NULL rows, kIsNull keeps only NULL rows,
+  /// kIsNotNull keeps non-NULL rows — matching SQL's NULL-is-not-true.
+  /// `scratch` is caller-owned reusable storage. Requires
+  /// LeafRowEvaluable(leaf, kind).
+  static void EvaluateLeafRows(const LeafPredicate& leaf, TypeKind kind,
+                               const ColumnSlice& slice, uint8_t* mask,
+                               std::vector<uint8_t>* scratch);
 
   /// True if the unit whose per-top-level-column statistics are given can be
   /// skipped entirely (some conjunct is definitely false). `stats[i]` must

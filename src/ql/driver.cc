@@ -9,6 +9,7 @@
 #include "ql/optimizer.h"
 #include "ql/parser.h"
 #include "ql/task_compiler.h"
+#include "vec/simd.h"
 
 namespace minihive::ql {
 
@@ -134,6 +135,9 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   Stopwatch watch;
   bool profiling = explain_profile || options_.enable_profiling;
   MINIHIVE_RETURN_IF_ERROR(query_ctx.CheckAlive());
+  // Session-level kernel dispatch: both arms are byte-identical, so a
+  // mid-session flip never changes results, only the instruction mix.
+  simd::SetEnabled(options_.enable_simd);
   // Process-wide id: several Driver instances may share one DFS.
   static std::atomic<int> global_query_counter{0};
   int query_id = global_query_counter.fetch_add(1);
@@ -158,6 +162,20 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   cache::Cache::StatsSnapshot block_before, meta_before;
   if (block_cache != nullptr) block_before = block_cache->stats();
   if (meta_cache != nullptr) meta_before = meta_cache->stats();
+  // Late-materialization observability: per-query deltas of the reader's
+  // process-wide skip counters plus the DFS physical/cached byte split, so
+  // EXPLAIN PROFILE shows both the rows pruned before lazy decode and the
+  // I/O the pruning saved.
+  telemetry::Counter* late_rows_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "orc.reader.rows_late_skipped");
+  telemetry::Counter* lazy_decodes_counter =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "orc.reader.lazy_decodes_avoided");
+  const uint64_t late_rows_before = late_rows_counter->value();
+  const uint64_t lazy_decodes_before = lazy_decodes_counter->value();
+  const uint64_t physical_before = fs_->stats().bytes_read_physical.load();
+  const uint64_t cached_before = fs_->stats().bytes_read_cached.load();
   auto finish_profile = [&](QueryResult* result) {
     if (query_span == nullptr) return;
     query_span->SetAttr("num_jobs", static_cast<int64_t>(result->num_jobs));
@@ -179,6 +197,16 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
       query_span->SetAttr("metadata_cache_misses",
                           now.misses - meta_before.misses);
     }
+    query_span->SetAttr("rows_late_skipped",
+                        late_rows_counter->value() - late_rows_before);
+    query_span->SetAttr("lazy_decodes_avoided",
+                        lazy_decodes_counter->value() - lazy_decodes_before);
+    query_span->SetAttr(
+        "physical_bytes_read",
+        fs_->stats().bytes_read_physical.load() - physical_before);
+    query_span->SetAttr("cached_bytes_read",
+                        fs_->stats().bytes_read_cached.load() - cached_before);
+    query_span->SetAttr("simd_dispatch", std::string_view(simd::DispatchName()));
     query_span->End();
     result->profile = query_span;
     last_profile_ = query_span;
@@ -255,6 +283,8 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   exec_options.num_workers = options_.num_workers;
   exec_options.job_startup_ms = options_.job_startup_ms;
   exec_options.vectorized = options_.vectorized_execution;
+  exec_options.enable_late_materialization =
+      options_.enable_late_materialization;
   exec_options.use_combiner = options_.shuffle_combiner;
   exec_options.max_task_attempts = options_.max_task_attempts;
   exec_options.query_ctx = &query_ctx;

@@ -27,6 +27,16 @@ struct DriverOptions {
   bool correlation_optimizer = false;
   /// §6: vectorized execution for eligible map pipelines.
   bool vectorized_execution = false;
+  /// Two-phase (PREWHERE-style) late materialization in vectorized ORC
+  /// scans: row-evaluable pushed-down predicates run first on just the
+  /// columns they reference; remaining projected columns decode only for
+  /// groups with surviving rows. Needs predicate_pushdown + vectorized
+  /// execution to have any effect.
+  bool enable_late_materialization = true;
+  /// Runtime-dispatched AVX2 kernels for vectorized comparisons,
+  /// arithmetic, and hashing (scalar fallback off-AVX2 hardware or when
+  /// off). Results are byte-identical either way.
+  bool enable_simd = true;
   /// §4.2: answer simple aggregations over unfiltered ORC tables directly
   /// from file statistics (no scan, no MapReduce job).
   bool stats_aggregation = true;

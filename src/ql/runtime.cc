@@ -55,12 +55,13 @@ class RowMapTask : public mr::MapTask {
              const std::unordered_map<int, std::shared_ptr<exec::MapJoinTables>>*
                  mapjoin_tables,
              bool vectorized, bool use_metadata_cache,
-             exec::PipelineProfile* profile)
+             bool enable_late_materialization, exec::PipelineProfile* profile)
       : fs_(fs),
         sources_(sources),
         mapjoin_tables_(mapjoin_tables),
         vectorized_(vectorized),
         use_metadata_cache_(use_metadata_cache),
+        enable_late_materialization_(enable_late_materialization),
         profile_(profile) {}
 
   Status Run(const mr::InputSplit& split, int task_index, int attempt,
@@ -82,6 +83,7 @@ class RowMapTask : public mr::MapTask {
     ctx.counters = attempt_counters();
     ctx.governor = governor();
     ctx.use_metadata_cache = use_metadata_cache_;
+    ctx.enable_late_materialization = enable_late_materialization_;
 
     // The vectorized path handles eligible pipelines entirely (paper §6);
     // it reports NotImplemented when the pipeline does not qualify, in
@@ -109,6 +111,7 @@ class RowMapTask : public mr::MapTask {
     read_options.reader_host = split.locality_host;
     read_options.governor = governor();
     read_options.use_metadata_cache = use_metadata_cache_;
+    read_options.enable_late_materialization = enable_late_materialization_;
     MINIHIVE_ASSIGN_OR_RETURN(
         std::unique_ptr<formats::RowReader> reader,
         format->OpenReader(fs_, split.path, source.schema, read_options));
@@ -136,6 +139,7 @@ class RowMapTask : public mr::MapTask {
       mapjoin_tables_;
   bool vectorized_;
   bool use_metadata_cache_;
+  bool enable_late_materialization_;
   exec::PipelineProfile* profile_;
 };
 
@@ -374,12 +378,13 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
 
   bool vectorized = options_.vectorized;
   bool use_metadata_cache = options_.use_metadata_cache;
+  bool late_materialization = options_.enable_late_materialization;
   dfs::FileSystem* fs = fs_;
   config.map_factory = [fs, sources, mapjoin_tables, vectorized,
-                        use_metadata_cache, profile]() {
-    return std::make_unique<RowMapTask>(fs, sources.get(),
-                                        mapjoin_tables.get(), vectorized,
-                                        use_metadata_cache, profile);
+                        use_metadata_cache, late_materialization, profile]() {
+    return std::make_unique<RowMapTask>(
+        fs, sources.get(), mapjoin_tables.get(), vectorized,
+        use_metadata_cache, late_materialization, profile);
   };
   if (job.num_reducers > 0) {
     const OpDesc* reduce_root = job.reduce_root.get();

@@ -47,6 +47,8 @@ struct ExecutionOptions {
   uint64_t mapjoin_memory_budget_bytes = 0;
   /// Let scan tasks use the session ORC metadata cache.
   bool use_metadata_cache = true;
+  /// Two-phase late-materialized vectorized ORC scans.
+  bool enable_late_materialization = true;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "vec/simd.h"
+
 namespace minihive::vec {
 
 namespace {
@@ -12,23 +14,86 @@ using exec::ExprKind;
 // --------------------------------------------------------------------
 // Arithmetic kernel templates (paper §6.3: vectorized expressions are
 // generated from pre-defined templates by type substitution; here the
-// substitution is done by the C++ compiler).
+// substitution is done by the C++ compiler). Each op carries its simd::
+// tag so the batch kernels below can hand dense, null-free, non-repeating
+// spans to the explicit-SIMD layer.
 
 struct AddOp {
+  static constexpr simd::Arith kArith = simd::Arith::kAdd;
   template <typename T>
   T operator()(T a, T b) const { return a + b; }
 };
 struct SubOp {
+  static constexpr simd::Arith kArith = simd::Arith::kSub;
   template <typename T>
   T operator()(T a, T b) const { return a - b; }
 };
 struct MulOp {
+  static constexpr simd::Arith kArith = simd::Arith::kMul;
   template <typename T>
   T operator()(T a, T b) const { return a * b; }
 };
 struct DivOp {
+  static constexpr simd::Arith kArith = simd::Arith::kDiv;
   double operator()(double a, double b) const { return b == 0 ? 0 : a / b; }
 };
+
+/// True when the column physically stores T (no long->double conversion
+/// needed), the precondition for handing its span to a SIMD kernel.
+template <typename T>
+bool IsNativeKind(const ColumnVector* col);
+template <>
+bool IsNativeKind<int64_t>(const ColumnVector* col) {
+  return col->kind() == VectorKind::kLong;
+}
+template <>
+bool IsNativeKind<double>(const ColumnVector* col) {
+  return col->kind() == VectorKind::kDouble;
+}
+
+simd::Cmp ToSimdCmp(ExprKind op) {
+  switch (op) {
+    case ExprKind::kEq: return simd::Cmp::kEq;
+    case ExprKind::kNe: return simd::Cmp::kNe;
+    case ExprKind::kLt: return simd::Cmp::kLt;
+    case ExprKind::kLe: return simd::Cmp::kLe;
+    case ExprKind::kGt: return simd::Cmp::kGt;
+    default: return simd::Cmp::kGe;
+  }
+}
+
+inline void SimdCompareMask(simd::Cmp op, const int64_t* in, int64_t s, int n,
+                            uint8_t* mask) {
+  simd::CompareMaskI64(op, in, s, n, mask);
+}
+inline void SimdCompareMask(simd::Cmp op, const double* in, double s, int n,
+                            uint8_t* mask) {
+  simd::CompareMaskF64(op, in, s, n, mask);
+}
+inline void SimdBetweenMask(const int64_t* in, int64_t lo, int64_t hi, int n,
+                            uint8_t* mask) {
+  simd::BetweenMaskI64(in, lo, hi, n, mask);
+}
+inline void SimdBetweenMask(const double* in, double lo, double hi, int n,
+                            uint8_t* mask) {
+  simd::BetweenMaskF64(in, lo, hi, n, mask);
+}
+inline void SimdArithScalar(simd::Arith op, const int64_t* in, int64_t s,
+                            bool scalar_left, int n, int64_t* out) {
+  simd::ArithScalarI64(op, in, s, scalar_left, n, out);
+}
+inline void SimdArithScalar(simd::Arith op, const double* in, double s,
+                            bool scalar_left, int n, double* out) {
+  simd::ArithScalarF64(op, in, s, scalar_left, n, out);
+}
+inline void SimdArithColCol(simd::Arith op, const int64_t* a, const int64_t* b,
+                            int n, int64_t* out) {
+  simd::ArithColColI64(op, a, b, n, out);
+}
+inline void SimdArithColCol(simd::Arith op, const double* a, const double* b,
+                            int n, double* out) {
+  simd::ArithColColF64(op, a, b, n, out);
+}
 
 /// Reads column values as T regardless of the underlying vector kind.
 template <typename T>
@@ -122,6 +187,14 @@ class ArithColCol : public VectorExpression {
         int i = sel[j];
         out[i] = op(l[i], r[i]);
       }
+    } else if (!l.repeating() && !r.repeating() &&
+               IsNativeKind<OutT>(batch->columns[left_].get()) &&
+               IsNativeKind<OutT>(batch->columns[right_].get())) {
+      // SIMD fast path over the dense spans. Like the scalar loop it computes
+      // a value for every row; null rows are overruled by PropagateNulls.
+      SimdArithColCol(Op::kArith, TypedData<OutT>(batch->columns[left_].get()),
+                      TypedData<OutT>(batch->columns[right_].get()),
+                      batch->size, out);
     } else {
       int n = batch->size;
       for (int i = 0; i < n; ++i) out[i] = op(l[i], r[i]);
@@ -196,6 +269,12 @@ class ArithColScalar : public VectorExpression {
           out[i] = op(in[i], scalar_);
         }
       }
+    } else if (IsNativeKind<OutT>(batch->columns[input_].get())) {
+      // SIMD fast path over the dense span (no long->double conversion
+      // needed). Values at null rows are computed just like the scalar
+      // loops; the propagation block below marks them null.
+      SimdArithScalar(Op::kArith, TypedData<OutT>(batch->columns[input_].get()),
+                      scalar_, scalar_left_, batch->size, out);
     } else {
       int n = batch->size;
       if (scalar_left_) {
@@ -285,7 +364,22 @@ class CompareScalarFilter : public VectorFilter {
 
   void Filter(VectorizedRowBatch* batch) override {
     if (child_) child_->Evaluate(batch);
-    ColReader<T> in(batch->columns[column_].get());
+    const ColumnVector* col = batch->columns[column_].get();
+    // SIMD fast path: a dense (no selection yet), null-free, non-repeating
+    // column stored natively as T. Compare the whole span into a byte mask,
+    // then compress the mask into selected[]. Falls back to FilterLoop for
+    // every other shape; both paths keep indexes strictly increasing.
+    if (!batch->selected_in_use && col->no_nulls && !col->is_repeating &&
+        IsNativeKind<T>(col)) {
+      mask_.resize(static_cast<size_t>(batch->size));
+      SimdCompareMask(ToSimdCmp(op_), TypedData<T>(col), scalar_, batch->size,
+                      mask_.data());
+      batch->selected_size = simd::MaskToSelected(mask_.data(), batch->size,
+                                                  batch->selected.data());
+      batch->selected_in_use = true;
+      return;
+    }
+    ColReader<T> in(col);
     T s = scalar_;
     switch (op_) {
       case ExprKind::kEq:
@@ -314,6 +408,7 @@ class CompareScalarFilter : public VectorFilter {
   ExprKind op_;
   T scalar_;
   std::unique_ptr<VectorExpression> child_;
+  std::vector<uint8_t> mask_;
 };
 
 template <typename T>
@@ -325,7 +420,18 @@ class BetweenFilter : public VectorFilter {
 
   void Filter(VectorizedRowBatch* batch) override {
     if (child_) child_->Evaluate(batch);
-    ColReader<T> in(batch->columns[column_].get());
+    const ColumnVector* col = batch->columns[column_].get();
+    if (!batch->selected_in_use && col->no_nulls && !col->is_repeating &&
+        IsNativeKind<T>(col)) {
+      mask_.resize(static_cast<size_t>(batch->size));
+      SimdBetweenMask(TypedData<T>(col), low_, high_, batch->size,
+                      mask_.data());
+      batch->selected_size = simd::MaskToSelected(mask_.data(), batch->size,
+                                                  batch->selected.data());
+      batch->selected_in_use = true;
+      return;
+    }
+    ColReader<T> in(col);
     T lo = low_, hi = high_;
     FilterLoop<T>(batch, in, [lo, hi](T v) { return v >= lo && v <= hi; });
   }
@@ -334,6 +440,7 @@ class BetweenFilter : public VectorFilter {
   int column_;
   T low_, high_;
   std::unique_ptr<VectorExpression> child_;
+  std::vector<uint8_t> mask_;
 };
 
 class BytesCompareScalarFilter : public VectorFilter {

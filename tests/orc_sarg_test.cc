@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "vec/simd.h"
+
 namespace minihive::orc {
 namespace {
 
@@ -82,6 +84,52 @@ TEST(SargLeafTest, NullHandling) {
             TruthValue::kNo);
 }
 
+TEST(SargLeafTest, AllNullGroupSkipsInAndBetween) {
+  // Regression: a group whose statistics are all-NULL (num_values == 0) must
+  // be skippable by every value predicate, kIn and kBetween included — the
+  // null literal probe used to bounce kIn to kMaybe before the value loop.
+  ColumnStatistics all_null;
+  all_null.MarkNull();
+  LeafPredicate in_leaf;
+  in_leaf.column = 0;
+  in_leaf.op = PredicateOp::kIn;
+  in_leaf.in_list = {Value::Int(1), Value::Int(2)};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(in_leaf, all_null), TruthValue::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kBetween, Value::Int(1), Value::Int(5), {}},
+                all_null),
+            TruthValue::kNo);
+
+  // Statistics that carry nulls alongside real values can still match.
+  ColumnStatistics with_nulls = IntStats(0, 10, /*has_null=*/true);
+  in_leaf.in_list = {Value::Int(5)};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(in_leaf, with_nulls),
+            TruthValue::kMaybe);
+  in_leaf.in_list = {Value::Int(42)};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(in_leaf, with_nulls),
+            TruthValue::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kBetween, Value::Int(3), Value::Int(4), {}},
+                with_nulls),
+            TruthValue::kMaybe);
+}
+
+TEST(SargLeafTest, DegenerateInAndBetweenAreNo) {
+  ColumnStatistics stats = IntStats(10, 20);
+  LeafPredicate empty_in;
+  empty_in.column = 0;
+  empty_in.op = PredicateOp::kIn;  // IN () matches nothing.
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(empty_in, stats), TruthValue::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(empty_in,
+                                         IntStats(10, 20, /*has_null=*/true)),
+            TruthValue::kNo);
+  // BETWEEN with inverted bounds is an empty range.
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(
+                {0, PredicateOp::kBetween, Value::Int(20), Value::Int(10), {}},
+                stats),
+            TruthValue::kNo);
+}
+
 TEST(SargLeafTest, StringRange) {
   ColumnStatistics stats = StringStats("mango", "peach");
   EXPECT_EQ(SearchArgument::EvaluateLeaf(
@@ -122,6 +170,125 @@ TEST(SearchArgumentTest, OutOfRangeColumnIgnored) {
   sarg.AddLeaf({5, PredicateOp::kEquals, Value::Int(1), {}, {}});
   std::vector<ColumnStatistics> stats = {IntStats(0, 1)};
   EXPECT_FALSE(sarg.CanSkip(stats));
+}
+
+// ------------------------------------------------------------------
+// Row-level (phase-1 late materialization) evaluation.
+
+std::vector<uint8_t> RowMask(const LeafPredicate& leaf, TypeKind kind,
+                             const ColumnSlice& slice) {
+  std::vector<uint8_t> mask(slice.rows, 1);
+  std::vector<uint8_t> scratch;
+  SearchArgument::EvaluateLeafRows(leaf, kind, slice, mask.data(), &scratch);
+  return mask;
+}
+
+TEST(SargRowTest, IntComparisonsMatchScalarTruthOnBothDispatchArms) {
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.push_back((i * 37) % 100);
+  ColumnSlice slice;
+  slice.longs = vals.data();
+  slice.rows = 100;
+  LeafPredicate leaf = {0, PredicateOp::kLessThan, Value::Int(50), {}, {}};
+  ASSERT_TRUE(SearchArgument::LeafRowEvaluable(leaf, TypeKind::kBigInt));
+  for (bool enabled : {false, true}) {
+    simd::SetEnabled(enabled);
+    std::vector<uint8_t> mask = RowMask(leaf, TypeKind::kBigInt, slice);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(mask[i] != 0, vals[i] < 50) << "row " << i;
+    }
+  }
+  simd::SetEnabled(true);
+}
+
+TEST(SargRowTest, NullRowsRejectedByComparisonsKeptByIsNull) {
+  // Packed layout: present says which rows are non-null; values hold only
+  // the non-null rows in order.
+  std::vector<uint8_t> present = {1, 0, 1, 0, 1, 1};
+  std::vector<int64_t> vals = {10, 20, 30, 40};
+  ColumnSlice slice;
+  slice.present = present.data();
+  slice.longs = vals.data();
+  slice.rows = 6;
+
+  LeafPredicate lt = {0, PredicateOp::kLessThan, Value::Int(25), {}, {}};
+  std::vector<uint8_t> mask = RowMask(lt, TypeKind::kBigInt, slice);
+  std::vector<uint8_t> expected = {1, 0, 1, 0, 0, 0};
+  EXPECT_EQ(mask, expected);
+
+  std::vector<uint8_t> is_null =
+      RowMask({0, PredicateOp::kIsNull, {}, {}, {}}, TypeKind::kBigInt, slice);
+  expected = {0, 1, 0, 1, 0, 0};
+  EXPECT_EQ(is_null, expected);
+
+  std::vector<uint8_t> not_null = RowMask(
+      {0, PredicateOp::kIsNotNull, {}, {}, {}}, TypeKind::kBigInt, slice);
+  expected = {1, 0, 1, 0, 1, 1};
+  EXPECT_EQ(not_null, expected);
+}
+
+TEST(SargRowTest, MaskIsAndedNotOverwritten) {
+  std::vector<int64_t> vals = {1, 2, 3, 4};
+  ColumnSlice slice;
+  slice.longs = vals.data();
+  slice.rows = 4;
+  std::vector<uint8_t> mask = {0, 1, 0, 1};  // Rows 0 and 2 already dead.
+  std::vector<uint8_t> scratch;
+  SearchArgument::EvaluateLeafRows(
+      {0, PredicateOp::kGreaterThanEquals, Value::Int(0), {}, {}},
+      TypeKind::kBigInt, slice, mask.data(), &scratch);
+  std::vector<uint8_t> expected = {0, 1, 0, 1};
+  EXPECT_EQ(mask, expected);
+}
+
+TEST(SargRowTest, DoubleBetweenAndStringEquality) {
+  std::vector<double> doubles = {0.5, 1.5, 2.5, 3.5};
+  ColumnSlice dslice;
+  dslice.doubles = doubles.data();
+  dslice.rows = 4;
+  LeafPredicate between = {0, PredicateOp::kBetween, Value::Double(1.0),
+                           Value::Double(3.0), {}};
+  ASSERT_TRUE(SearchArgument::LeafRowEvaluable(between, TypeKind::kDouble));
+  std::vector<uint8_t> mask = RowMask(between, TypeKind::kDouble, dslice);
+  std::vector<uint8_t> expected = {0, 1, 1, 0};
+  EXPECT_EQ(mask, expected);
+
+  std::vector<std::string_view> strs = {"apple", "banana", "cherry"};
+  ColumnSlice sslice;
+  sslice.strings = strs.data();
+  sslice.rows = 3;
+  LeafPredicate eq = {0, PredicateOp::kEquals, Value::String("banana"), {},
+                      {}};
+  ASSERT_TRUE(SearchArgument::LeafRowEvaluable(eq, TypeKind::kString));
+  mask = RowMask(eq, TypeKind::kString, sslice);
+  expected = {0, 1, 0};
+  EXPECT_EQ(mask, expected);
+
+  LeafPredicate in;
+  in.column = 0;
+  in.op = PredicateOp::kIn;
+  in.in_list = {Value::String("apple"), Value::String("cherry")};
+  ASSERT_TRUE(SearchArgument::LeafRowEvaluable(in, TypeKind::kString));
+  mask = RowMask(in, TypeKind::kString, sslice);
+  expected = {1, 0, 1};
+  EXPECT_EQ(mask, expected);
+}
+
+TEST(SargRowTest, RowEvaluabilityRequiresExactTypeFamilies) {
+  // int col + double literal would change comparison semantics: refuse.
+  EXPECT_FALSE(SearchArgument::LeafRowEvaluable(
+      {0, PredicateOp::kLessThan, Value::Double(1.5), {}, {}},
+      TypeKind::kBigInt));
+  // double col + int literal converts like the engine does: allowed.
+  EXPECT_TRUE(SearchArgument::LeafRowEvaluable(
+      {0, PredicateOp::kLessThan, Value::Int(2), {}, {}}, TypeKind::kDouble));
+  // String BETWEEN stays group-level-only.
+  EXPECT_FALSE(SearchArgument::LeafRowEvaluable(
+      {0, PredicateOp::kBetween, Value::String("a"), Value::String("b"), {}},
+      TypeKind::kString));
+  // Complex types are never row-evaluable.
+  EXPECT_FALSE(SearchArgument::LeafRowEvaluable(
+      {0, PredicateOp::kIsNull, {}, {}, {}}, TypeKind::kArray));
 }
 
 TEST(ColumnStatisticsTest, SerializationRoundTrip) {

@@ -183,6 +183,11 @@ class DifferentialTest : public ::testing::Test {
       default:
         break;  // Default budgets.
     }
+    // Late materialization and SIMD dispatch are pure performance layers
+    // too: toggle them per (seed, engine) so the sweep covers two-phase vs
+    // eager ORC reads and AVX2 vs scalar kernels in every combination.
+    options.enable_late_materialization = cache_rng.Uniform(2) == 0;
+    options.enable_simd = cache_rng.Uniform(2) == 0;
     Driver driver(fs_.get(), catalog_.get(), options);
     return driver.Execute(sql);
   }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "common/random.h"
+#include "vec/simd.h"
 
 namespace minihive::vec {
 namespace {
@@ -214,6 +218,165 @@ TEST(VectorCompilerTest, RejectsUnsupportedShapes) {
       Expr::Binary(ExprKind::kEq, Expr::Column(0, TypeKind::kString),
                    Expr::Literal(Value::String("b"), TypeKind::kString)));
   EXPECT_TRUE(compiler.CompileFilter(pred).status().IsNotImplemented());
+}
+
+// ------------------------------------------------------------------
+// SIMD dispatch: both arms (AVX2 when compiled in and present, scalar
+// otherwise) must be byte-identical on every kernel, including the nasty
+// cases — int64 wraparound, NaN comparisons, division by zero, ragged tails.
+
+class SimdIdentityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::SetEnabled(true); }
+
+  /// Runs `fn` with SIMD off then on and returns both results.
+  template <typename Fn>
+  static auto BothArms(Fn fn) {
+    simd::SetEnabled(false);
+    auto scalar = fn();
+    simd::SetEnabled(true);
+    auto vector = fn();
+    return std::pair(std::move(scalar), std::move(vector));
+  }
+};
+
+TEST_F(SimdIdentityTest, CompareAndBetweenMasks) {
+  Random rng(41);
+  for (int n : {0, 1, 3, 4, 7, 64, 100}) {
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    for (int i = 0; i < n; ++i) {
+      ints.push_back(static_cast<int64_t>(rng.Uniform(1000)) - 500);
+      doubles.push_back(static_cast<double>(ints.back()) * 0.25);
+    }
+    if (n > 2) doubles[n / 2] = std::numeric_limits<double>::quiet_NaN();
+    for (simd::Cmp cmp : {simd::Cmp::kEq, simd::Cmp::kNe, simd::Cmp::kLt,
+                          simd::Cmp::kLe, simd::Cmp::kGt, simd::Cmp::kGe}) {
+      auto [s, v] = BothArms([&] {
+        std::vector<uint8_t> mask(n);
+        simd::CompareMaskI64(cmp, ints.data(), 17, n, mask.data());
+        std::vector<uint8_t> dmask(n);
+        simd::CompareMaskF64(cmp, doubles.data(), 4.25, n, dmask.data());
+        mask.insert(mask.end(), dmask.begin(), dmask.end());
+        return mask;
+      });
+      EXPECT_EQ(s, v) << "cmp " << static_cast<int>(cmp) << " n " << n;
+    }
+    auto [s, v] = BothArms([&] {
+      std::vector<uint8_t> mask(n);
+      simd::BetweenMaskI64(ints.data(), -100, 100, n, mask.data());
+      std::vector<uint8_t> dmask(n);
+      simd::BetweenMaskF64(doubles.data(), -25.0, 25.0, n, dmask.data());
+      mask.insert(mask.end(), dmask.begin(), dmask.end());
+      return mask;
+    });
+    EXPECT_EQ(s, v) << "between n " << n;
+  }
+}
+
+TEST_F(SimdIdentityTest, ArithmeticIncludingWraparoundAndDivZero) {
+  Random rng(43);
+  int n = 100;
+  std::vector<int64_t> a, b;
+  std::vector<double> da, db;
+  for (int i = 0; i < n; ++i) {
+    a.push_back(static_cast<int64_t>(rng.Next()));  // Wraps on mul/add.
+    b.push_back(static_cast<int64_t>(rng.Next()));
+    da.push_back(static_cast<double>(rng.Uniform(100)) - 50);
+    db.push_back(i % 5 == 0 ? 0.0 : da.back() + 1);  // Division by zero.
+  }
+  for (simd::Arith op : {simd::Arith::kAdd, simd::Arith::kSub,
+                         simd::Arith::kMul}) {
+    auto [s, v] = BothArms([&] {
+      std::vector<int64_t> out(n);
+      simd::ArithColColI64(op, a.data(), b.data(), n, out.data());
+      std::vector<int64_t> out2(n);
+      simd::ArithScalarI64(op, a.data(), 7919, /*scalar_left=*/false, n,
+                           out2.data());
+      std::vector<int64_t> out3(n);
+      simd::ArithScalarI64(op, a.data(), 7919, /*scalar_left=*/true, n,
+                           out3.data());
+      out.insert(out.end(), out2.begin(), out2.end());
+      out.insert(out.end(), out3.begin(), out3.end());
+      return out;
+    });
+    EXPECT_EQ(s, v) << "i64 op " << static_cast<int>(op);
+  }
+  for (simd::Arith op : {simd::Arith::kAdd, simd::Arith::kSub,
+                         simd::Arith::kMul, simd::Arith::kDiv}) {
+    auto [s, v] = BothArms([&] {
+      std::vector<double> out(n);
+      simd::ArithColColF64(op, da.data(), db.data(), n, out.data());
+      std::vector<double> out2(n);
+      simd::ArithScalarF64(op, da.data(), 0.0, /*scalar_left=*/true, n,
+                           out2.data());
+      out.insert(out.end(), out2.begin(), out2.end());
+      return out;
+    });
+    // Compare bit patterns so -0.0 vs 0.0 or NaN payloads can't hide.
+    ASSERT_EQ(s.size(), v.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      uint64_t sb, vb;
+      std::memcpy(&sb, &s[i], 8);
+      std::memcpy(&vb, &v[i], 8);
+      EXPECT_EQ(sb, vb) << "f64 op " << static_cast<int>(op) << " idx " << i;
+    }
+  }
+}
+
+TEST_F(SimdIdentityTest, HashBytesAndMaskToSelected) {
+  Random rng(47);
+  for (int len : {0, 1, 7, 31, 32, 33, 64, 100, 257}) {
+    std::string data = rng.NextString(len);
+    auto [s, v] = BothArms([&] {
+      return simd::HashBytes(reinterpret_cast<const uint8_t*>(data.data()),
+                             data.size(), 99);
+    });
+    EXPECT_EQ(s, v) << "len " << len;
+  }
+  // Distinct inputs should hash apart (sanity, not identity).
+  auto h1 = simd::HashBytes(reinterpret_cast<const uint8_t*>("hello"), 5, 0);
+  auto h2 = simd::HashBytes(reinterpret_cast<const uint8_t*>("hellp"), 5, 0);
+  EXPECT_NE(h1, h2);
+
+  std::vector<uint8_t> mask = {1, 0, 0, 1, 1, 0, 1};
+  std::vector<int> sel(mask.size());
+  int count = simd::MaskToSelected(mask.data(), static_cast<int>(mask.size()),
+                                   sel.data());
+  ASSERT_EQ(count, 4);
+  EXPECT_EQ(sel[0], 0);
+  EXPECT_EQ(sel[1], 3);
+  EXPECT_EQ(sel[2], 4);
+  EXPECT_EQ(sel[3], 6);
+}
+
+TEST_F(SimdIdentityTest, FilterKernelsAgreeAcrossDispatchArms) {
+  // End-to-end: the compiled filter's SIMD fast path and the scalar
+  // FilterLoop must produce the same selection vector.
+  BatchCompiler compiler({TypeKind::kBigInt, TypeKind::kDouble});
+  ExprPtr pred = Expr::Binary(
+      ExprKind::kAnd,
+      Expr::Binary(ExprKind::kGt, Expr::Column(0, TypeKind::kBigInt),
+                   Expr::Literal(Value::Int(20), TypeKind::kBigInt)),
+      Expr::Binary(ExprKind::kLe, Expr::Column(1, TypeKind::kDouble),
+                   Expr::Literal(Value::Double(28.0), TypeKind::kDouble)));
+  auto filters = std::move(compiler.CompileFilter(pred)).ValueOrDie();
+  auto run = [&] {
+    auto batch = TwoColumnBatch(100);
+    for (auto& f : filters) f->Filter(batch.get());
+    std::vector<int> sel(batch->selected.begin(),
+                         batch->selected.begin() + batch->selected_size);
+    return sel;
+  };
+  simd::SetEnabled(false);
+  auto scalar_sel = run();
+  simd::SetEnabled(true);
+  auto simd_sel = run();
+  EXPECT_EQ(scalar_sel, simd_sel);
+  // ids 21..56 survive (0.5 * id <= 28).
+  ASSERT_FALSE(simd_sel.empty());
+  EXPECT_EQ(simd_sel.front(), 21);
+  EXPECT_EQ(simd_sel.back(), 56);
 }
 
 }  // namespace
