@@ -10,6 +10,8 @@
 
 namespace minihive {
 
+class MemoryBudget;
+
 /// Cooperative cancellation flag shared between the session that owns a
 /// query and every thread executing it. Cancelling is a one-way latch:
 /// execution code observes it at batch boundaries and unwinds with a typed
@@ -57,6 +59,13 @@ class QueryContext {
     return mapjoin_memory_budget_bytes_;
   }
 
+  /// The query's node in the unified memory accounting tree (see
+  /// common/budget.h), or nullptr when the query runs outside a session.
+  /// Consumers (map-join builds, ORC writers) charge reservations against
+  /// it; the node is owned by the admission handle and outlives the query.
+  void set_memory_budget(MemoryBudget* budget) { memory_budget_ = budget; }
+  MemoryBudget* memory_budget() const { return memory_budget_; }
+
   /// OK while the query may keep running; kCancelled once the token fires,
   /// kDeadlineExceeded once the deadline passes. This is THE cancellation
   /// point primitive — called at row-batch boundaries, per ORC index group,
@@ -77,6 +86,7 @@ class QueryContext {
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   uint64_t mapjoin_memory_budget_bytes_ = 0;
+  MemoryBudget* memory_budget_ = nullptr;
 };
 
 /// Per-task-attempt view of the governance state: the query context plus an

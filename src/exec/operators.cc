@@ -839,6 +839,14 @@ Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
               "-byte memory budget (build aborted at " +
               std::to_string(total_bytes) + " bytes)");
         }
+        // Session mode: the build also charges the query's slice of the
+        // unified accounting tree, in chunks (one CAS per ~256 KiB grown).
+        // Exhaustion is the same determinate ResourceExhausted as above, so
+        // the driver's reduce-join fallback handles both uniformly.
+        if (query != nullptr && query->memory_budget() != nullptr) {
+          MINIHIVE_RETURN_IF_ERROR(table->reservation.CoverAtLeast(
+              query->memory_budget(), table->approx_bytes));
+        }
         table->rows[SerializeKey(key)].push_back(std::move(value));
       }
     }

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/telemetry.h"
 #include "dfs/file_system.h"
 #include "exec/plan.h"
@@ -60,6 +61,9 @@ class PipelineProfile {
 struct MapJoinHashTable {
   std::unordered_map<std::string, std::vector<Row>> rows;
   uint64_t approx_bytes = 0;
+  /// Charge against the query's node of the memory accounting tree (session
+  /// mode). Held for the table's lifetime; released when the table dies.
+  BudgetReservation reservation;
 };
 
 /// All small-side tables of one MapJoin operator, in small-side order.

@@ -191,6 +191,14 @@ Status RunParallel(int count, int workers,
 Engine::Engine(dfs::FileSystem* fs, EngineOptions options)
     : fs_(fs), options_(options) {}
 
+Status Engine::RunTasks(int count, const std::function<Status(int)>& fn) {
+  if (options_.scheduler != nullptr && options_.scheduler_queue != nullptr) {
+    return options_.scheduler->RunParallel(options_.scheduler_queue, count,
+                                           fn);
+  }
+  return RunParallel(count, options_.num_workers, fn);
+}
+
 Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   // Tracing: one span per job, one per task attempt. Spans are opened from
   // worker threads (StartChild is thread-safe); the job's counters fold
@@ -237,8 +245,8 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   int num_partitions = std::max(job.num_reducers, 1);
   const int max_attempts = std::max(1, job.max_task_attempts);
   std::vector<std::unique_ptr<PartitionedEmitter>> emitters(job.splits.size());
-  Status status = RunParallel(
-      static_cast<int>(job.splits.size()), options_.num_workers,
+  Status status = RunTasks(
+      static_cast<int>(job.splits.size()),
       [&](int index) -> Status {
         ThreadCpuTimer cpu;
         Status s;
@@ -341,8 +349,8 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   // second copy of the partition) — and pushes the merged stream into the
   // Reducer Driver with group boundary signals.
   Stopwatch reduce_watch;
-  status = RunParallel(
-      job.num_reducers, options_.num_workers, [&](int partition) -> Status {
+  status = RunTasks(
+      job.num_reducers, [&](int partition) -> Status {
         ThreadCpuTimer cpu;
         struct RunCursor {
           const std::vector<ShuffleRecord>* run;

@@ -11,6 +11,7 @@
 
 #include "common/query_context.h"
 #include "common/result.h"
+#include "common/scheduler.h"
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "common/value.h"
@@ -320,6 +321,12 @@ struct EngineOptions {
   /// tens of seconds on the paper's cluster). 0 disables it; benches that
   /// compare job counts set a scaled-down value.
   int job_startup_ms = 0;
+  /// When both are set, map/reduce task fan-outs are submitted to this
+  /// shared scheduler queue (the session's worker pool) instead of the
+  /// engine spawning `num_workers` threads per phase. The queue is the
+  /// query's fair-share lane; both pointers must outlive the engine's jobs.
+  TaskScheduler* scheduler = nullptr;
+  TaskScheduler::Queue* scheduler_queue = nullptr;
 };
 
 /// An in-process MapReduce engine with a sort-merge shuffle: map tasks hash
@@ -338,6 +345,10 @@ class Engine {
   dfs::FileSystem* fs() { return fs_; }
 
  private:
+  /// Fans `fn(0..count-1)` out across the configured scheduler queue when
+  /// one is set, else across an engine-private thread pool.
+  Status RunTasks(int count, const std::function<Status(int)>& fn);
+
   dfs::FileSystem* fs_;
   EngineOptions options_;
 };

@@ -5,6 +5,7 @@ namespace minihive::ql {
 Status Catalog::CreateTable(const std::string& name, TypePtr schema,
                             formats::FormatKind format,
                             codec::CompressionKind compression) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -23,6 +24,7 @@ Status Catalog::CreateTable(const std::string& name, TypePtr schema,
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   for (const std::string& path : TableFiles(it->second)) {
@@ -33,6 +35,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<const TableDesc*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   return &it->second;

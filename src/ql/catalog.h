@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,11 @@ struct TableDesc {
   }
 };
 
-/// The metastore: name -> table metadata. Not thread-safe for writes.
+/// The metastore: name -> table metadata. Thread-safe: concurrent drivers
+/// resolve tables while another session creates new ones (std::map nodes
+/// are stable, so a returned TableDesc* survives unrelated DDL). Dropping
+/// a table while queries still read it remains the caller's race to avoid,
+/// as in any metastore.
 class Catalog {
  public:
   explicit Catalog(dfs::FileSystem* fs) : fs_(fs) {}
@@ -47,6 +52,7 @@ class Catalog {
 
   Result<const TableDesc*> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return tables_.count(name) > 0;
   }
 
@@ -64,6 +70,7 @@ class Catalog {
 
  private:
   dfs::FileSystem* fs_;
+  mutable std::mutex mu_;
   std::map<std::string, TableDesc> tables_;
 };
 

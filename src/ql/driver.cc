@@ -52,7 +52,13 @@ bool StripExplainProfile(std::string_view* sql) {
 
 Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
     : fs_(fs), catalog_(catalog), options_(options) {
-  if (options_.block_cache_bytes > 0 || options_.metadata_cache_bytes > 0) {
+  if (options_.session != nullptr) {
+    // Session mode: every driver on the manager shares one CacheManager.
+    // Installing the same pointer is idempotent across drivers; it stays
+    // installed for the manager's lifetime (the manager outlives us).
+    fs_->set_cache_manager(options_.session->manager()->cache_manager());
+  } else if (options_.block_cache_bytes > 0 ||
+             options_.metadata_cache_bytes > 0) {
     caches_ = std::make_unique<cache::CacheManager>(
         options_.block_cache_bytes, options_.metadata_cache_bytes);
     fs_->set_cache_manager(caches_.get());
@@ -89,6 +95,26 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
   query_ctx.set_mapjoin_memory_budget_bytes(
       options_.mapjoin_memory_budget_bytes);
 
+  // Session mode: pass admission control first, then open the query's
+  // fair-share scheduler queue. Admission failure is pre-plan, so it can
+  // never be mistaken for a map-join budget failure (no fallback run) and
+  // never perturbs queries already executing.
+  std::unique_ptr<QueryAdmission> admission;
+  SessionManager* manager = nullptr;
+  if (options_.session != nullptr && execute) {
+    manager = options_.session->manager();
+    std::string query_name =
+        options_.session->name() + "#" + std::to_string(query_counter_ + 1);
+    auto admitted =
+        manager->Admit(query_name, &query_ctx, options_.query_memory_bytes);
+    if (!admitted.ok()) return admitted.status();
+    admission = std::move(admitted).ValueOrDie();
+    query_ctx.set_memory_budget(admission->budget());
+    active_admission_ = admission.get();
+    active_queue_ = manager->scheduler()->RegisterQueue(
+        query_name, options_.session->priority());
+  }
+
   Result<QueryResult> result = RunOnce(sql, execute, explain_profile,
                                        query_ctx, /*disable_mapjoin=*/false,
                                        /*mapjoin_fallbacks=*/0);
@@ -110,6 +136,11 @@ Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
         .GetCounter("ql.driver.queries_cancelled")
         ->Increment();
   }
+  if (active_queue_ != nullptr) {
+    manager->scheduler()->UnregisterQueue(active_queue_);
+    active_queue_ = nullptr;
+  }
+  active_admission_ = nullptr;  // `admission` releases the budget slice now
   return result;
 }
 
@@ -137,7 +168,11 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   MINIHIVE_RETURN_IF_ERROR(query_ctx.CheckAlive());
   // Session-level kernel dispatch: both arms are byte-identical, so a
   // mid-session flip never changes results, only the instruction mix.
-  simd::SetEnabled(options_.enable_simd);
+  // Only write the process-wide flag when it actually changes — concurrent
+  // drivers with the same setting must not ping the cache line per query.
+  if (simd::Enabled() != options_.enable_simd) {
+    simd::SetEnabled(options_.enable_simd);
+  }
   // Process-wide id: several Driver instances may share one DFS.
   static std::atomic<int> global_query_counter{0};
   int query_id = global_query_counter.fetch_add(1);
@@ -155,10 +190,14 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   // Per-query cache deltas for the profile: instance stats are monotonic,
   // so start-of-query snapshots make the attrs this query's own hits/misses
   // even across many queries on one session.
+  cache::CacheManager* cache_manager =
+      options_.session != nullptr
+          ? options_.session->manager()->cache_manager()
+          : caches_.get();
   cache::Cache* block_cache =
-      caches_ != nullptr ? caches_->block_cache() : nullptr;
+      cache_manager != nullptr ? cache_manager->block_cache() : nullptr;
   cache::Cache* meta_cache =
-      caches_ != nullptr ? caches_->metadata_cache() : nullptr;
+      cache_manager != nullptr ? cache_manager->metadata_cache() : nullptr;
   cache::Cache::StatsSnapshot block_before, meta_before;
   if (block_cache != nullptr) block_before = block_cache->stats();
   if (meta_cache != nullptr) meta_before = meta_cache->stats();
@@ -176,6 +215,13 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   const uint64_t lazy_decodes_before = lazy_decodes_counter->value();
   const uint64_t physical_before = fs_->stats().bytes_read_physical.load();
   const uint64_t cached_before = fs_->stats().bytes_read_cached.load();
+  // Scheduler stats are cumulative per queue; snapshot so the profile
+  // shows this run's own tasks and queue wait.
+  TaskScheduler::QueueStats sched_before;
+  if (active_queue_ != nullptr) {
+    sched_before = options_.session->manager()->scheduler()->GetQueueStats(
+        active_queue_);
+  }
   auto finish_profile = [&](QueryResult* result) {
     if (query_span == nullptr) return;
     query_span->SetAttr("num_jobs", static_cast<int64_t>(result->num_jobs));
@@ -206,6 +252,25 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
         fs_->stats().bytes_read_physical.load() - physical_before);
     query_span->SetAttr("cached_bytes_read",
                         fs_->stats().bytes_read_cached.load() - cached_before);
+    if (active_admission_ != nullptr) {
+      query_span->SetAttr(
+          "admission_queue_wait_millis",
+          static_cast<int64_t>(active_admission_->queue_wait_millis()));
+      query_span->SetAttr("admitted_bytes",
+                          active_admission_->admitted_bytes());
+      query_span->SetAttr("query_budget_peak_bytes",
+                          active_admission_->budget()->peak_used());
+    }
+    if (active_queue_ != nullptr) {
+      TaskScheduler::QueueStats now =
+          options_.session->manager()->scheduler()->GetQueueStats(
+              active_queue_);
+      query_span->SetAttr("sched_tasks_run",
+                          now.tasks_run - sched_before.tasks_run);
+      query_span->SetAttr(
+          "sched_queue_wait_millis",
+          (now.queue_wait_nanos - sched_before.queue_wait_nanos) / 1000000);
+    }
     query_span->SetAttr("simd_dispatch", std::string_view(simd::DispatchName()));
     query_span->End();
     result->profile = query_span;
@@ -291,6 +356,10 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   exec_options.task_timeout_millis = options_.task_timeout_millis;
   exec_options.mapjoin_memory_budget_bytes =
       options_.mapjoin_memory_budget_bytes;
+  if (options_.session != nullptr && active_queue_ != nullptr) {
+    exec_options.scheduler = options_.session->manager()->scheduler();
+    exec_options.scheduler_queue = active_queue_;
+  }
   telemetry::Span* exec_span = nullptr;
   if (query_span != nullptr) {
     exec_span = query_span->StartChild("execute");

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/cache.h"
+#include "common/session.h"
 #include "mr/engine.h"
 #include "ql/catalog.h"
 #include "ql/runtime.h"
@@ -90,6 +91,21 @@ struct DriverOptions {
   /// attempts, per-operator row counts) for every query. EXPLAIN PROFILE
   /// turns this on for its one query regardless of the setting.
   bool enable_profiling = false;
+  /// Multi-query mode: attach this driver to a SessionManager session. The
+  /// driver then (a) uses the manager's shared caches instead of creating
+  /// its own (block/metadata_cache_bytes are ignored), (b) runs its engine
+  /// task fan-outs on the manager's shared worker pool through a per-query
+  /// fair-share queue at the session's priority, and (c) passes every query
+  /// through admission control first — a query is queued or rejected with a
+  /// typed ResourceExhausted when the global memory budget is committed.
+  /// The Session (and its SessionManager) must outlive the driver and any
+  /// filesystem reads that may hit the shared caches. Null = standalone
+  /// single-query mode, exactly as before.
+  Session* session = nullptr;
+  /// Session mode only: bytes to request from admission for each query
+  /// (0 = the manager's per-query default). Requests above the per-query
+  /// cap are rejected up front.
+  uint64_t query_memory_bytes = 0;
 };
 
 struct QueryResult {
@@ -163,6 +179,12 @@ class Driver {
   int query_counter_ = 0;
   std::shared_ptr<telemetry::Span> last_profile_;
   std::shared_ptr<CancellationToken> token_;
+  /// Session mode, set for the duration of one Run(): the admission ticket
+  /// (budget slice + queue wait) and the query's scheduler queue. A Driver
+  /// runs one query at a time; concurrent queries use separate Drivers
+  /// sharing one Session/SessionManager.
+  QueryAdmission* active_admission_ = nullptr;
+  TaskScheduler::Queue* active_queue_ = nullptr;
 };
 
 }  // namespace minihive::ql

@@ -222,7 +222,9 @@ PlanExecutor::PlanExecutor(dfs::FileSystem* fs, const Catalog* catalog,
       catalog_(catalog),
       options_(options),
       engine_(fs, mr::EngineOptions{options.num_workers,
-                                     options.job_startup_ms}) {}
+                                     options.job_startup_ms,
+                                     options.scheduler,
+                                     options.scheduler_queue}) {}
 
 Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
                          std::vector<JobReport>* reports) {

@@ -49,6 +49,10 @@ struct ExecutionOptions {
   bool use_metadata_cache = true;
   /// Two-phase late-materialized vectorized ORC scans.
   bool enable_late_materialization = true;
+  /// When both set, engine task fan-outs run on this shared scheduler
+  /// queue (the session's worker pool) instead of per-query threads.
+  TaskScheduler* scheduler = nullptr;
+  TaskScheduler::Queue* scheduler_queue = nullptr;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.
