@@ -1,0 +1,47 @@
+#ifndef MINIHIVE_COMMON_BACKOFF_H_
+#define MINIHIVE_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace minihive {
+
+/// Capped exponential backoff with deterministic jitter, for retrying
+/// failed dispatches without synchronizing the retriers. The delay for
+/// retry `attempt` is `base * multiplier^attempt`, capped at `max_millis`,
+/// with up to `jitter` of that delay subtracted pseudo-randomly — the jitter
+/// is a pure function of (seed, attempt), so the same seed reproduces the
+/// same retry timeline (the fault sweeps depend on this).
+struct BackoffPolicy {
+  int64_t base_millis = 5;
+  int64_t max_millis = 500;
+  double multiplier = 2.0;
+  /// Fraction of the delay that jitter may remove, in [0, 1).
+  double jitter = 0.5;
+};
+
+/// Deterministic delay before retry `attempt` (0-based: the delay between
+/// the first failure and the second try uses attempt 0).
+inline int64_t BackoffDelayMillis(const BackoffPolicy& policy, int attempt,
+                                  uint64_t seed) {
+  double delay = static_cast<double>(policy.base_millis);
+  for (int i = 0; i < attempt && delay < policy.max_millis; ++i) {
+    delay *= policy.multiplier;
+  }
+  delay = std::min(delay, static_cast<double>(policy.max_millis));
+  if (policy.jitter > 0) {
+    // SplitMix64 finalizer over (seed, attempt): full-avalanche, stateless.
+    uint64_t x = seed ^ (static_cast<uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    double unit = static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+    delay -= delay * policy.jitter * unit;
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(delay));
+}
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_BACKOFF_H_

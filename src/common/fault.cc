@@ -21,6 +21,10 @@ const char* SiteName(FaultSite site) {
     case FaultSite::kRead: return "read";
     case FaultSite::kAppend: return "append";
     case FaultSite::kClose: return "close";
+    case FaultSite::kSend: return "send";
+    case FaultSite::kResponse: return "response";
+    case FaultSite::kWorker: return "worker";
+    case FaultSite::kHeartbeat: return "heartbeat";
   }
   return "?";
 }
@@ -38,6 +42,7 @@ Status FaultInjector::MaybeError(FaultSite site, const std::string& path) {
     case FaultSite::kRead: p = config_.read_error_probability; break;
     case FaultSite::kAppend: p = config_.append_error_probability; break;
     case FaultSite::kClose: p = config_.close_error_probability; break;
+    default: return Status::OK();  // Transport sites use the Should* API.
   }
   if (p <= 0) return Status::OK();
   if (!PathMatches(path)) return Status::OK();
@@ -48,6 +53,7 @@ Status FaultInjector::MaybeError(FaultSite site, const std::string& path) {
     case FaultSite::kRead: stats_.read_errors += 1; break;
     case FaultSite::kAppend: stats_.append_errors += 1; break;
     case FaultSite::kClose: stats_.close_errors += 1; break;
+    default: break;
   }
   return Status::IoError("injected " + std::string(SiteName(site)) +
                          " fault on " + path + " (call " + std::to_string(k) +
@@ -72,6 +78,65 @@ void FaultInjector::MaybeDelay(FaultSite site, const std::string& path) {
     default: break;
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_millis));
+}
+
+bool FaultInjector::ShouldDropMessage(FaultSite site,
+                                      const std::string& label) {
+  double p = 0;
+  switch (site) {
+    case FaultSite::kSend: p = config_.send_drop_probability; break;
+    case FaultSite::kResponse: p = config_.response_drop_probability; break;
+    default: return false;
+  }
+  if (p <= 0 || !PathMatches(label)) return false;
+  uint64_t k = site_calls_[static_cast<int>(site)].fetch_add(1);
+  if (ToUnit(Draw(site, k)) >= p) return false;
+  if (site == FaultSite::kSend) {
+    stats_.sends_dropped += 1;
+  } else {
+    stats_.responses_dropped += 1;
+  }
+  return true;
+}
+
+bool FaultInjector::ShouldDuplicateMessage(const std::string& label) {
+  double p = config_.send_duplicate_probability;
+  if (p <= 0 || !PathMatches(label)) return false;
+  uint64_t k = duplicate_calls_.fetch_add(1);
+  // Independent stream from the kSend drop draws.
+  if (ToUnit(Draw(FaultSite::kSend, k ^ (0xD0B1ULL << 24))) >= p) return false;
+  stats_.sends_duplicated += 1;
+  return true;
+}
+
+int FaultInjector::MessageDelayMillis(const std::string& label) {
+  double p = config_.send_delay_probability;
+  if (p <= 0 || config_.delay_millis <= 0 || !PathMatches(label)) return 0;
+  uint64_t k = delay_calls_[static_cast<int>(FaultSite::kSend)].fetch_add(1);
+  if (ToUnit(Draw(FaultSite::kSend, k ^ (0xDE1A7ULL << 20))) >= p) return 0;
+  stats_.sends_delayed += 1;
+  return config_.delay_millis;
+}
+
+bool FaultInjector::ShouldCrashWorker(bool after_commit,
+                                      const std::string& label) {
+  double p = after_commit ? config_.worker_crash_after_commit_probability
+                          : config_.worker_crash_before_commit_probability;
+  if (p <= 0 || !PathMatches(label)) return false;
+  uint64_t k = crash_calls_[after_commit ? 1 : 0].fetch_add(1);
+  uint64_t salt = after_commit ? (0xAF7E2ULL << 16) : (0xBEF02ULL << 16);
+  if (ToUnit(Draw(FaultSite::kWorker, k ^ salt)) >= p) return false;
+  stats_.worker_crashes += 1;
+  return true;
+}
+
+bool FaultInjector::ShouldDropHeartbeat(const std::string& label) {
+  double p = config_.heartbeat_drop_probability;
+  if (p <= 0 || !PathMatches(label)) return false;
+  uint64_t k = site_calls_[static_cast<int>(FaultSite::kHeartbeat)].fetch_add(1);
+  if (ToUnit(Draw(FaultSite::kHeartbeat, k)) >= p) return false;
+  stats_.heartbeats_dropped += 1;
+  return true;
 }
 
 void FaultInjector::MaybeFlip(const std::string& path, uint64_t offset,

@@ -9,15 +9,30 @@
 
 namespace minihive {
 
-/// Filesystem call sites where faults can be injected. Mirrors the failure
-/// surface of a real HDFS client: opens, positional reads, appends, closes.
+/// Call sites where faults can be injected. The first four mirror the
+/// failure surface of a real HDFS client (opens, positional reads, appends,
+/// closes); the transport-class sites mirror the failure surface of an RPC
+/// layer dispatching tasks to remote workers (lost/duplicated/delayed
+/// messages, dropped responses, worker crashes, missed heartbeats). Site
+/// names, as documented in DESIGN.md's fault model table: `open`, `read`,
+/// `append`, `close`, `send`, `response`, `worker`, `heartbeat`.
 enum class FaultSite : int {
   kOpen = 0,
   kRead = 1,
   kAppend = 2,
   kClose = 3,
+  /// A task-dispatch message on its way to a worker (drop / duplicate /
+  /// reorder-delay decisions).
+  kSend = 4,
+  /// A task response on its way back to the coordinator (drop decisions —
+  /// the worker did the work; only the acknowledgement is lost).
+  kResponse = 5,
+  /// The worker process itself (crash-before-commit / crash-after-commit).
+  kWorker = 6,
+  /// A liveness probe (dropped heartbeats -> missed-beat detection).
+  kHeartbeat = 7,
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 8;
 
 /// Per-site injection probabilities. All default to 0 (no injection).
 /// `read_flip_probability` corrupts the bytes a read returns instead of
@@ -38,8 +53,29 @@ struct FaultConfig {
   double read_delay_probability = 0;
   double append_delay_probability = 0;
   int delay_millis = 0;
+  /// Transport-class probabilities (see the kSend/kResponse/kWorker/
+  /// kHeartbeat sites). A dispatch message can independently be dropped
+  /// (the coordinator sees an RPC timeout), duplicated (the worker runs the
+  /// same attempt twice — exactly-once commit must absorb it), or delayed
+  /// by `delay_millis` before delivery (message reorder / straggler).
+  double send_drop_probability = 0;
+  double send_duplicate_probability = 0;
+  double send_delay_probability = 0;
+  /// The worker executed the task but its response is lost; the coordinator
+  /// must retry an attempt whose output may already be committed.
+  double response_drop_probability = 0;
+  /// The worker crashes on receipt — before running (and committing)
+  /// anything — and stops serving its queue for good.
+  double worker_crash_before_commit_probability = 0;
+  /// The worker crashes after fully running (and committing) the task but
+  /// before responding: the costliest duplicate-commit scenario.
+  double worker_crash_after_commit_probability = 0;
+  /// A liveness probe is silently lost (counts toward missed-beat
+  /// detection even while the worker is healthy).
+  double heartbeat_drop_probability = 0;
   /// When non-empty, faults are only injected on paths containing this
-  /// substring (target one table, one temp dir, ...).
+  /// substring (target one table, one temp dir, one worker's message
+  /// labels such as "worker-0", ...).
   std::string path_filter;
 };
 
@@ -52,11 +88,23 @@ struct FaultStats {
   std::atomic<uint64_t> close_errors{0};
   std::atomic<uint64_t> read_delays{0};
   std::atomic<uint64_t> append_delays{0};
+  std::atomic<uint64_t> sends_dropped{0};
+  std::atomic<uint64_t> sends_duplicated{0};
+  std::atomic<uint64_t> sends_delayed{0};
+  std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> worker_crashes{0};
+  std::atomic<uint64_t> heartbeats_dropped{0};
 
   uint64_t total() const {
     return open_errors.load() + read_errors.load() + byte_flips.load() +
            append_errors.load() + close_errors.load() + read_delays.load() +
-           append_delays.load();
+           append_delays.load() + transport_total();
+  }
+
+  uint64_t transport_total() const {
+    return sends_dropped.load() + sends_duplicated.load() +
+           sends_delayed.load() + responses_dropped.load() +
+           worker_crashes.load() + heartbeats_dropped.load();
   }
 };
 
@@ -84,6 +132,25 @@ class FaultInjector {
   /// call is deterministic in (seed, site, k) like MaybeError.
   void MaybeDelay(FaultSite site, const std::string& path);
 
+  // ---- Transport-class decisions (mr::SimulatedRemoteTransport). Each is
+  // a pure function of (seed, site, k) on its own counter stream, with
+  // `label` standing in for the path (path_filter applies, so a sweep can
+  // target one worker's messages). The transport owns the mechanics —
+  // these only decide and count.
+
+  /// Drop the k-th dispatch message (site kSend) or response (kResponse).
+  bool ShouldDropMessage(FaultSite site, const std::string& label);
+  /// Deliver the k-th dispatch message twice.
+  bool ShouldDuplicateMessage(const std::string& label);
+  /// Delay the k-th dispatch message; returns the delay in millis (0 = no
+  /// delay). Delivery order across workers' queues is not preserved.
+  int MessageDelayMillis(const std::string& label);
+  /// Crash the worker handling the k-th message. `after_commit` selects
+  /// between the crash-before-commit and crash-after-commit streams.
+  bool ShouldCrashWorker(bool after_commit, const std::string& label);
+  /// Drop the k-th liveness probe.
+  bool ShouldDropHeartbeat(const std::string& label);
+
   const FaultStats& stats() const { return stats_; }
   const FaultConfig& config() const { return config_; }
 
@@ -105,6 +172,8 @@ class FaultInjector {
   std::atomic<uint64_t> site_calls_[kNumFaultSites] = {};
   std::atomic<uint64_t> flip_calls_{0};
   std::atomic<uint64_t> delay_calls_[kNumFaultSites] = {};
+  std::atomic<uint64_t> duplicate_calls_{0};
+  std::atomic<uint64_t> crash_calls_[2] = {};
 };
 
 }  // namespace minihive

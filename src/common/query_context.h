@@ -118,11 +118,22 @@ class TaskGovernor {
            QueryContext::Clock::now() >= attempt_deadline_;
   }
 
+  /// Attempt-scoped cancellation, independent of the query's token: the
+  /// dispatch layer cancels a speculative duplicate once its sibling wins,
+  /// while the query (and the winner's output) live on. Owned by the
+  /// caller; must outlive the attempt. Null = no attempt-level cancel.
+  void set_attempt_cancel(const CancellationToken* cancel) {
+    attempt_cancel_ = cancel;
+  }
+
   /// Query-level check first (cancellation beats deadlines, query deadline
-  /// beats attempt deadline), then the attempt deadline.
+  /// beats attempt deadline), then the attempt-level kills.
   Status CheckAlive() const {
     if (query_ != nullptr) {
       MINIHIVE_RETURN_IF_ERROR(query_->CheckAlive());
+    }
+    if (attempt_cancel_ != nullptr && attempt_cancel_->cancelled()) {
+      return Status::Cancelled("task attempt cancelled by dispatcher");
     }
     if (AttemptTimedOut()) {
       return Status::DeadlineExceeded("task attempt exceeded its deadline");
@@ -134,6 +145,7 @@ class TaskGovernor {
   const QueryContext* query_ = nullptr;
   bool has_attempt_deadline_ = false;
   QueryContext::Clock::time_point attempt_deadline_{};
+  const CancellationToken* attempt_cancel_ = nullptr;
 };
 
 }  // namespace minihive

@@ -60,6 +60,9 @@ SessionManager::SessionManager(const SessionManagerOptions& options)
   SchedulerOptions sched;
   sched.num_workers = options_.num_workers;
   scheduler_ = std::make_unique<TaskScheduler>(sched);
+  if (options_.workers.num_workers > 0) {
+    worker_manager_ = std::make_unique<WorkerManager>(options_.workers);
+  }
 }
 
 SessionManager::~SessionManager() = default;

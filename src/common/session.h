@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/scheduler.h"
 #include "common/status.h"
+#include "common/worker_manager.h"
 
 namespace minihive {
 
@@ -36,6 +37,11 @@ struct SessionManagerOptions {
   /// How long a queued query waits for budget before giving up with
   /// ResourceExhausted. 0 = wait forever (until cancelled).
   int64_t admission_queue_timeout_millis = 10000;
+  /// Dispatch worker pool shared across the manager's sessions: liveness,
+  /// blacklist, and straggler statistics live here so every driver attached
+  /// to the manager sees one consistent view of the cluster. Enabled when
+  /// `workers.num_workers > 0`; the drivers' transports call back into it.
+  WorkerPoolOptions workers;
 };
 
 class SessionManager;
@@ -131,6 +137,12 @@ class SessionManager {
 
   TaskScheduler* scheduler() { return scheduler_.get(); }
   cache::CacheManager* cache_manager() { return cache_manager_.get(); }
+  /// Shared dispatch-worker liveness/blacklist tracker; null unless
+  /// `options.workers.num_workers > 0`. Drivers attached to a session of
+  /// this manager route their dispatches through it instead of creating a
+  /// private one, so a worker blacklisted by one query stays blacklisted
+  /// for the next.
+  WorkerManager* worker_manager() { return worker_manager_.get(); }
   /// Root of the memory accounting tree (caches + admitted queries).
   MemoryBudget* root_budget() { return root_budget_.get(); }
 
@@ -149,6 +161,7 @@ class SessionManager {
   std::unique_ptr<MemoryBudget> cache_budget_;
   std::unique_ptr<cache::CacheManager> cache_manager_;
   std::unique_ptr<TaskScheduler> scheduler_;
+  std::unique_ptr<WorkerManager> worker_manager_;
 
   std::mutex admit_mu_;
   std::condition_variable admit_cv_;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "mr/transport.h"
 
 namespace minihive::mr {
 
@@ -238,6 +241,11 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
     }
   }
 
+  // Distributed mode: route every task attempt through the dispatch layer.
+  if (options_.dispatcher != nullptr) {
+    return finish_job(RunJobDispatched(job, counters, job_span));
+  }
+
   // ---- Map phase: run the map task, then form this task's sorted
   // (and combined) runs while still on the worker thread — the expensive
   // sort work happens where it is cheap and parallel.
@@ -464,6 +472,268 @@ Status Engine::RunJob(const JobConfig& job, JobCounters* counters) {
   }
   counters->reduce_phase_millis = reduce_watch.ElapsedMillis();
   return finish_job(Status::OK());
+}
+
+Status Engine::RunJobDispatched(const JobConfig& job, JobCounters* counters,
+                                telemetry::Span* job_span) {
+  DispatchCoordinator* dispatcher = options_.dispatcher;
+  const uint64_t job_id = dispatcher->NewJobId();
+  const int num_partitions = std::max(job.num_reducers, 1);
+  const int max_attempts = std::max(1, job.max_task_attempts);
+
+  auto query_dead_status = [&]() -> Status {
+    return job.query_ctx != nullptr ? job.query_ctx->CheckAlive()
+                                    : Status::OK();
+  };
+  if (job.num_reducers > 0 && !job.reduce_factory) {
+    return Status::InvalidArgument("job has reducers but no reduce factory");
+  }
+
+  // Successful attempt products, keyed (task_index, attempt). Duplicate
+  // executions of a task (message duplication, committed-but-lost
+  // responses, speculative duplicates) each store their own product under
+  // their own attempt id; the engine consumes exactly the winning
+  // attempt's, so records and counters merge exactly once per logical
+  // task no matter how many attempts actually ran.
+  struct MapCandidate {
+    std::unique_ptr<PartitionedEmitter> emitter;
+    JobCounters local;
+  };
+  std::mutex candidates_mu;
+  std::map<std::pair<int, int>, MapCandidate> map_candidates;
+  std::map<std::pair<int, int>, JobCounters> reduce_candidates;
+
+  // Winning map emitters, filled by the engine thread as each map task's
+  // dispatch settles; read-only during the reduce phase. Unlike the local
+  // path, partition runs are NOT cleared after a reduce task succeeds: an
+  // abandoned duplicate execution may still be merging them on a worker
+  // thread. Memory is released when this frame unwinds — safe, because
+  // the JobGuard below drains every in-flight execution first.
+  std::vector<std::unique_ptr<PartitionedEmitter>> emitters(job.splits.size());
+
+  // The worker-side attempt body: one decoded request in, one complete
+  // attempt out (run + sort/combine + commit, or abort). Runs on transport
+  // worker threads, inline for LocalTransport, and on launch threads for
+  // the local fallback.
+  TaskExecutor executor = [&](const TaskRequest& request,
+                              const CancellationToken* cancel) -> Status {
+    ThreadCpuTimer cpu;
+    TaskGovernor governor(job.query_ctx);
+    governor.set_attempt_timeout_millis(job.task_timeout_millis);
+    governor.set_attempt_cancel(cancel);
+    const bool is_map = request.kind == TaskKind::kMap;
+    telemetry::Span* attempt_span =
+        job_span != nullptr
+            ? job_span->StartChild((is_map ? "map[" : "reduce[") +
+                                   std::to_string(request.task_index) + "]")
+            : nullptr;
+    JobCounters local;
+    Status s;
+    if (is_map) {
+      if (request.task_index < 0 ||
+          request.task_index >= static_cast<int>(job.splits.size())) {
+        s = Status::InvalidArgument("map task index out of range: " +
+                                    std::to_string(request.task_index));
+      } else {
+        auto emitter =
+            std::make_unique<PartitionedEmitter>(num_partitions, &local);
+        std::unique_ptr<MapTask> task = job.map_factory();
+        task->set_attempt_counters(&local);
+        task->set_governor(&governor);
+        s = task->Run(job.splits[request.task_index], request.task_index,
+                      request.attempt, emitter.get());
+        if (s.ok()) s = governor.CheckAlive();
+        if (s.ok() && job.num_reducers > 0) {
+          s = SortAndCombineRuns(emitter.get(), job, &local, &governor);
+        }
+        if (s.ok() && job.commit_task) {
+          s = job.commit_task(TaskKind::kMap, request.task_index,
+                              request.attempt);
+        }
+        if (s.ok()) {
+          local.cpu_nanos += cpu.ElapsedNanos();
+          std::lock_guard<std::mutex> lock(candidates_mu);
+          map_candidates[{request.task_index, request.attempt}] =
+              MapCandidate{std::move(emitter), local};
+        }
+      }
+    } else {
+      const int partition = request.task_index;
+      if (partition < 0 || partition >= job.num_reducers) {
+        s = Status::InvalidArgument("reduce partition out of range: " +
+                                    std::to_string(partition));
+      } else {
+        struct RunCursor {
+          const std::vector<ShuffleRecord>* run;
+          size_t pos;
+          int run_index;
+          const ShuffleRecord& record() const { return (*run)[pos]; }
+        };
+        ShuffleLess less{&job.sort_ascending};
+        auto after = [&less](const RunCursor& a, const RunCursor& b) {
+          if (less(b.record(), a.record())) return true;
+          if (less(a.record(), b.record())) return false;
+          return b.run_index < a.run_index;
+        };
+        std::vector<RunCursor> heap;
+        heap.reserve(emitters.size());
+        size_t total = 0;
+        for (size_t m = 0; m < emitters.size(); ++m) {
+          if (!emitters[m]) continue;
+          const auto& run = emitters[m]->partitions()[partition];
+          if (run.empty()) continue;
+          total += run.size();
+          heap.push_back({&run, 0, static_cast<int>(m)});
+        }
+        std::make_heap(heap.begin(), heap.end(), after);
+        local.reduce_input_records += total;
+        std::unique_ptr<ReduceTask> task =
+            job.reduce_factory(partition, request.attempt);
+        auto next = [&]() -> const ShuffleRecord* {
+          if (heap.empty()) return nullptr;
+          std::pop_heap(heap.begin(), heap.end(), after);
+          RunCursor& cursor = heap.back();
+          const ShuffleRecord* record = &cursor.record();
+          if (++cursor.pos < cursor.run->size()) {
+            std::push_heap(heap.begin(), heap.end(), after);
+          } else {
+            heap.pop_back();
+          }
+          return record;
+        };
+        s = DriveGroups(task.get(), next, &governor);
+        if (s.ok()) s = governor.CheckAlive();
+        if (s.ok() && job.commit_task) {
+          s = job.commit_task(TaskKind::kReduce, partition, request.attempt);
+        }
+        if (s.ok()) {
+          local.cpu_nanos += cpu.ElapsedNanos();
+          std::lock_guard<std::mutex> lock(candidates_mu);
+          reduce_candidates[{partition, request.attempt}] = local;
+        }
+      }
+    }
+    if (attempt_span != nullptr) {
+      attempt_span->SetAttr("attempt",
+                            static_cast<int64_t>(request.attempt));
+      if (is_map) {
+        attempt_span->SetAttr("records_in", local.map_input_records.load());
+        attempt_span->SetAttr("records_out",
+                              local.map_output_records.load());
+      } else {
+        attempt_span->SetAttr("records_in",
+                              local.reduce_input_records.load());
+      }
+      if (!s.ok()) attempt_span->SetAttr("error", s.ToString());
+      attempt_span->End();
+    }
+    if (!s.ok() && job.abort_task) {
+      job.abort_task(request.kind, request.task_index, request.attempt);
+    }
+    return s;
+  };
+
+  dispatcher->StartJob(job_id, executor);
+  // Drain every in-flight execution before this frame (the candidate maps,
+  // the emitters, the executor itself) unwinds — on every exit path.
+  struct JobGuard {
+    DispatchCoordinator* dispatcher;
+    uint64_t job_id;
+    ~JobGuard() { dispatcher->EndJob(job_id); }
+  } guard{dispatcher, job_id};
+
+  auto fold_outcome = [&](const DispatchOutcome& outcome, TaskKind kind) {
+    counters->transport_dispatches += outcome.dispatches;
+    counters->transport_retries += outcome.retries;
+    counters->speculative_launches += outcome.speculative_launches;
+    if (outcome.speculative_won) counters->speculative_wins += 1;
+    if (outcome.ran_local_fallback) counters->transport_fallbacks += 1;
+    if (kind == TaskKind::kMap) {
+      counters->map_task_failures += outcome.failures;
+    } else {
+      counters->reduce_task_failures += outcome.failures;
+    }
+    counters->tasks_timed_out += outcome.timeouts;
+    counters->retried_task_nanos += outcome.retried_nanos;
+  };
+
+  Stopwatch map_watch;
+  Status status = RunTasks(
+      static_cast<int>(job.splits.size()), [&](int index) -> Status {
+        DispatchOutcome outcome = dispatcher->RunTask(
+            job_id, job.name, TaskKind::kMap, index, job.splits[index],
+            max_attempts, job.query_ctx);
+        fold_outcome(outcome, TaskKind::kMap);
+        if (!outcome.status.ok()) {
+          Status alive = query_dead_status();
+          if (!alive.ok()) return alive;
+          return Status(outcome.status.code(),
+                        "map task " + std::to_string(index) +
+                            " failed after " +
+                            std::to_string(outcome.failures) +
+                            " attempts: " + outcome.status.message());
+        }
+        std::lock_guard<std::mutex> lock(candidates_mu);
+        auto it = map_candidates.find({index, outcome.winning_attempt});
+        if (it == map_candidates.end()) {
+          return Status::Internal(
+              "map task " + std::to_string(index) + ": winning attempt " +
+              std::to_string(outcome.winning_attempt) + " left no result");
+        }
+        it->second.local.AccumulateTaskLocalInto(counters);
+        emitters[index] = std::move(it->second.emitter);
+        map_candidates.erase(it);
+        return Status::OK();
+      });
+  if (!status.ok()) {
+    if (!query_dead_status().ok()) counters->queries_cancelled += 1;
+    return status;
+  }
+  counters->map_phase_millis = map_watch.ElapsedMillis();
+
+  if (job.num_reducers == 0) return Status::OK();
+  {
+    Status alive = query_dead_status();
+    if (!alive.ok()) {
+      counters->queries_cancelled += 1;
+      return alive;
+    }
+  }
+
+  Stopwatch reduce_watch;
+  const InputSplit empty_split;
+  status = RunTasks(job.num_reducers, [&](int partition) -> Status {
+    DispatchOutcome outcome = dispatcher->RunTask(
+        job_id, job.name, TaskKind::kReduce, partition, empty_split,
+        max_attempts, job.query_ctx);
+    fold_outcome(outcome, TaskKind::kReduce);
+    if (!outcome.status.ok()) {
+      Status alive = query_dead_status();
+      if (!alive.ok()) return alive;
+      return Status(outcome.status.code(),
+                    "reduce task " + std::to_string(partition) +
+                        " failed after " +
+                        std::to_string(outcome.failures) +
+                        " attempts: " + outcome.status.message());
+    }
+    std::lock_guard<std::mutex> lock(candidates_mu);
+    auto it = reduce_candidates.find({partition, outcome.winning_attempt});
+    if (it == reduce_candidates.end()) {
+      return Status::Internal(
+          "reduce task " + std::to_string(partition) +
+          ": winning attempt " + std::to_string(outcome.winning_attempt) +
+          " left no result");
+    }
+    it->second.AccumulateTaskLocalInto(counters);
+    reduce_candidates.erase(it);
+    return Status::OK();
+  });
+  if (!status.ok()) {
+    if (!query_dead_status().ok()) counters->queries_cancelled += 1;
+    return status;
+  }
+  counters->reduce_phase_millis = reduce_watch.ElapsedMillis();
+  return Status::OK();
 }
 
 Result<std::vector<InputSplit>> ComputeSplits(

@@ -19,6 +19,8 @@
 
 namespace minihive::mr {
 
+class DispatchCoordinator;  // mr/transport.h
+
 /// One unit of map input: a byte range of one file, with a locality hint
 /// (the datanode holding its first block) and the tag of the logical input
 /// it came from (which table / which ReduceSink source).
@@ -72,6 +74,17 @@ struct JobCounters {
   /// Map-join builds that blew the memory budget and were re-run through
   /// the backup reduce-join plan (Hive's backup-task protocol).
   std::atomic<uint64_t> mapjoin_fallbacks{0};
+  /// Distributed dispatch (zero when no transport is configured): physical
+  /// task launches shipped through the WorkerTransport, launches after a
+  /// task's first (retries), speculative straggler duplicates, logical
+  /// tasks whose speculative duplicate beat the original, and logical
+  /// tasks that degraded to the local pool because every worker was dead
+  /// or blacklisted.
+  std::atomic<uint64_t> transport_dispatches{0};
+  std::atomic<uint64_t> transport_retries{0};
+  std::atomic<uint64_t> speculative_launches{0};
+  std::atomic<uint64_t> speculative_wins{0};
+  std::atomic<uint64_t> transport_fallbacks{0};
   /// Wall time burnt in failed attempts (the retry tax), summed over tasks.
   std::atomic<int64_t> retried_task_nanos{0};
   /// Wall time of the map-join local task (all attempts).
@@ -88,7 +101,7 @@ struct JobCounters {
     T JobCounters::*member;
   };
 
-  static constexpr std::array<NamedField<std::atomic<uint64_t>>, 12>
+  static constexpr std::array<NamedField<std::atomic<uint64_t>>, 17>
   atomic_u64_fields() {
     return {{{"map_input_records", &JobCounters::map_input_records},
              {"map_output_records", &JobCounters::map_output_records},
@@ -101,7 +114,12 @@ struct JobCounters {
              {"tasks_timed_out", &JobCounters::tasks_timed_out},
              {"queries_cancelled", &JobCounters::queries_cancelled},
              {"local_task_failures", &JobCounters::local_task_failures},
-             {"mapjoin_fallbacks", &JobCounters::mapjoin_fallbacks}}};
+             {"mapjoin_fallbacks", &JobCounters::mapjoin_fallbacks},
+             {"transport_dispatches", &JobCounters::transport_dispatches},
+             {"transport_retries", &JobCounters::transport_retries},
+             {"speculative_launches", &JobCounters::speculative_launches},
+             {"speculative_wins", &JobCounters::speculative_wins},
+             {"transport_fallbacks", &JobCounters::transport_fallbacks}}};
   }
 
   static constexpr std::array<NamedField<std::atomic<int64_t>>, 4>
@@ -189,7 +207,7 @@ struct JobCounters {
 // the matching *_fields() table above, then adjust the expected size.
 static_assert(sizeof(void*) != 8 ||
                   sizeof(JobCounters) ==
-                      8 * (12 + 4) +  // atomic u64/i64 fields
+                      8 * (17 + 4) +  // atomic u64/i64 fields
                           2 * sizeof(int) + 2 * sizeof(double),
               "JobCounters changed: update the field tables in engine.h");
 
@@ -327,6 +345,12 @@ struct EngineOptions {
   /// query's fair-share lane; both pointers must outlive the engine's jobs.
   TaskScheduler* scheduler = nullptr;
   TaskScheduler::Queue* scheduler_queue = nullptr;
+  /// When set, every task attempt routes through the dispatch layer
+  /// (mr/transport.h): worker selection, retries with backoff,
+  /// blacklisting, speculative re-execution, and local fallback when no
+  /// worker is usable. The fan-out above still bounds how many logical
+  /// tasks dispatch concurrently. Must outlive the engine's jobs.
+  DispatchCoordinator* dispatcher = nullptr;
 };
 
 /// An in-process MapReduce engine with a sort-merge shuffle: map tasks hash
@@ -348,6 +372,13 @@ class Engine {
   /// Fans `fn(0..count-1)` out across the configured scheduler queue when
   /// one is set, else across an engine-private thread pool.
   Status RunTasks(int count, const std::function<Status(int)>& fn);
+
+  /// RunJob's body when a DispatchCoordinator is configured: registers the
+  /// attempt executor with the transport and routes every task through
+  /// DispatchCoordinator::RunTask, merging only the winning attempt's
+  /// results (exactly-once accounting across duplicate executions).
+  Status RunJobDispatched(const JobConfig& job, JobCounters* counters,
+                          telemetry::Span* job_span);
 
   dfs::FileSystem* fs_;
   EngineOptions options_;

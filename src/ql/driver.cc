@@ -63,9 +63,46 @@ Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
         options_.block_cache_bytes, options_.metadata_cache_bytes);
     fs_->set_cache_manager(caches_.get());
   }
+  if (options_.workers.num_workers > 0) {
+    if (options_.workers.simulate_remote) {
+      mr::SimulatedRemoteTransport::Options topt;
+      topt.num_workers = options_.workers.num_workers;
+      topt.rpc_timeout_millis = options_.workers.rpc_timeout_millis;
+      transport_ = std::make_unique<mr::SimulatedRemoteTransport>(topt);
+    } else {
+      transport_ =
+          std::make_unique<mr::LocalTransport>(options_.workers.num_workers);
+    }
+    // Prefer the session's shared health tracker so a worker blacklisted by
+    // one driver stays blacklisted for the session's others — but only when
+    // the pool sizes agree (a mismatched shared manager could pick worker
+    // indices this transport doesn't have).
+    WorkerManager* shared =
+        options_.session != nullptr
+            ? options_.session->manager()->worker_manager()
+            : nullptr;
+    if (shared != nullptr &&
+        shared->num_workers() == transport_->num_workers()) {
+      worker_manager_ = shared;
+    } else {
+      own_worker_manager_ =
+          std::make_unique<WorkerManager>(options_.workers);
+      worker_manager_ = own_worker_manager_.get();
+    }
+    dispatcher_ = std::make_unique<mr::DispatchCoordinator>(transport_.get(),
+                                                            worker_manager_);
+    started_monitor_ = worker_manager_->StartMonitor(
+        [t = transport_.get()](int worker) { return t->Heartbeat(worker); });
+  }
 }
 
 Driver::~Driver() {
+  // The monitor's probe captures our transport; stop it before the
+  // transport dies. Only the driver whose StartMonitor call actually
+  // started the thread stops it (a session-shared manager may be serving
+  // other drivers, but their probes would dangle — safety first; dispatch
+  // results still update liveness for them).
+  if (started_monitor_) worker_manager_->StopMonitor();
   // Uninstall only if still the installed manager — a later Driver on the
   // same filesystem may have replaced us (last-wins, like fault injectors).
   if (caches_ != nullptr && fs_->cache_manager() == caches_.get()) {
@@ -215,6 +252,29 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   const uint64_t lazy_decodes_before = lazy_decodes_counter->value();
   const uint64_t physical_before = fs_->stats().bytes_read_physical.load();
   const uint64_t cached_before = fs_->stats().bytes_read_cached.load();
+  // Dispatch-layer observability: the mr.transport.* registry counters are
+  // process-wide and monotonic, so per-query deltas come from start-of-run
+  // snapshots — EXPLAIN PROFILE then shows this query's own dispatches,
+  // retries, speculation and fallbacks.
+  static const char* const kTransportMetrics[] = {
+      "mr.transport.dispatches",          "mr.transport.retries",
+      "mr.transport.rpc_timeouts",        "mr.transport.speculative_launches",
+      "mr.transport.speculative_wins",    "mr.transport.speculative_losses",
+      "mr.transport.local_fallbacks",     "session.workers_heartbeats_missed",
+      "session.workers_deaths",           "session.workers_blacklists",
+  };
+  constexpr size_t kNumTransportMetrics =
+      sizeof(kTransportMetrics) / sizeof(kTransportMetrics[0]);
+  telemetry::Counter* transport_counters[kNumTransportMetrics] = {};
+  uint64_t transport_before[kNumTransportMetrics] = {};
+  if (dispatcher_ != nullptr) {
+    for (size_t i = 0; i < kNumTransportMetrics; ++i) {
+      transport_counters[i] =
+          telemetry::MetricsRegistry::Global().GetCounter(
+              kTransportMetrics[i]);
+      transport_before[i] = transport_counters[i]->value();
+    }
+  }
   // Scheduler stats are cumulative per queue; snapshot so the profile
   // shows this run's own tasks and queue wait.
   TaskScheduler::QueueStats sched_before;
@@ -270,6 +330,17 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
       query_span->SetAttr(
           "sched_queue_wait_millis",
           (now.queue_wait_nanos - sched_before.queue_wait_nanos) / 1000000);
+    }
+    if (dispatcher_ != nullptr) {
+      query_span->SetAttr("dispatch_transport",
+                          std::string_view(dispatcher_->transport()->name()));
+      for (size_t i = 0; i < kNumTransportMetrics; ++i) {
+        // Attr name: drop the "mr."/"session." prefix, keep the rest.
+        std::string_view name = kTransportMetrics[i];
+        name.remove_prefix(name.find('.') + 1);
+        query_span->SetAttr(
+            name, transport_counters[i]->value() - transport_before[i]);
+      }
     }
     query_span->SetAttr("simd_dispatch", std::string_view(simd::DispatchName()));
     query_span->End();
@@ -360,6 +431,7 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
     exec_options.scheduler = options_.session->manager()->scheduler();
     exec_options.scheduler_queue = active_queue_;
   }
+  exec_options.dispatcher = dispatcher_.get();
   telemetry::Span* exec_span = nullptr;
   if (query_span != nullptr) {
     exec_span = query_span->StartChild("execute");

@@ -8,7 +8,9 @@
 
 #include "common/cache.h"
 #include "common/session.h"
+#include "common/worker_manager.h"
 #include "mr/engine.h"
+#include "mr/transport.h"
 #include "ql/catalog.h"
 #include "ql/runtime.h"
 
@@ -106,6 +108,18 @@ struct DriverOptions {
   /// (0 = the manager's per-query default). Requests above the per-query
   /// cap are rejected up front.
   uint64_t query_memory_bytes = 0;
+  /// Distributed dispatch: when `workers.num_workers > 0` the driver builds
+  /// a worker transport (simulated-remote with real wire encoding + fault
+  /// hooks, or the in-process local fast path), tracks worker health
+  /// (heartbeats, blacklists, straggler stats) and routes every engine task
+  /// attempt through the dispatch coordinator — retries with capped
+  /// exponential backoff, speculative duplicates for stragglers, and local
+  /// fallback when every worker is out. 0 (default) keeps the engine's
+  /// plain in-process pool: zero new threads, identical behaviour to
+  /// before. In session mode the SessionManager's shared WorkerManager is
+  /// used when its pool size matches, so blacklists persist across the
+  /// session's drivers.
+  WorkerPoolOptions workers;
 };
 
 struct QueryResult {
@@ -146,6 +160,13 @@ class Driver {
   Catalog* catalog() { return catalog_; }
   DriverOptions& options() { return options_; }
 
+  /// The dispatch transport, when workers are configured (null otherwise).
+  /// Tests downcast to SimulatedRemoteTransport to install fault injectors.
+  mr::WorkerTransport* transport() { return transport_.get(); }
+  /// The worker health tracker backing dispatch (session-shared or owned);
+  /// null when workers are not configured.
+  WorkerManager* worker_manager() { return worker_manager_; }
+
   /// Installs the token every subsequent query checks at its cancellation
   /// points. Cancel() from any thread makes the running query fail with a
   /// typed Cancelled status within one row batch / index group. The session
@@ -176,6 +197,15 @@ class Driver {
   /// with several Drivers on one filesystem the most recent construction's
   /// caches serve everyone, and the destructor only uninstalls itself.
   std::unique_ptr<cache::CacheManager> caches_;
+  /// Dispatch layer (workers.num_workers > 0 only). Destruction order
+  /// matters: the coordinator references manager and transport, and the
+  /// monitor probe references the transport — ~Driver stops the monitor
+  /// (when this driver started it) before any of these die.
+  std::unique_ptr<mr::WorkerTransport> transport_;
+  std::unique_ptr<WorkerManager> own_worker_manager_;
+  WorkerManager* worker_manager_ = nullptr;
+  std::unique_ptr<mr::DispatchCoordinator> dispatcher_;
+  bool started_monitor_ = false;
   int query_counter_ = 0;
   std::shared_ptr<telemetry::Span> last_profile_;
   std::shared_ptr<CancellationToken> token_;

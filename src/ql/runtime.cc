@@ -224,7 +224,8 @@ PlanExecutor::PlanExecutor(dfs::FileSystem* fs, const Catalog* catalog,
       engine_(fs, mr::EngineOptions{options.num_workers,
                                      options.job_startup_ms,
                                      options.scheduler,
-                                     options.scheduler_queue}) {}
+                                     options.scheduler_queue,
+                                     options.dispatcher}) {}
 
 Status PlanExecutor::Run(const CompiledPlan& plan, mr::JobCounters* totals,
                          std::vector<JobReport>* reports) {

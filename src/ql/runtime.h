@@ -53,6 +53,10 @@ struct ExecutionOptions {
   /// queue (the session's worker pool) instead of per-query threads.
   TaskScheduler* scheduler = nullptr;
   TaskScheduler::Queue* scheduler_queue = nullptr;
+  /// When set, every task attempt is routed through the dispatch layer
+  /// (worker transport + heartbeats + backoff retries + blacklisting +
+  /// speculative re-execution). Must outlive the executor's jobs.
+  mr::DispatchCoordinator* dispatcher = nullptr;
 };
 
 /// Per-job timing, for the benches that report per-plan behaviour.

@@ -16,7 +16,9 @@ dashboards, just not gated.
 A metric fails when current/baseline falls outside [1/threshold, threshold]
 (default threshold 2.0). Zero baselines compare exactly: 0 -> 0 passes,
 0 -> nonzero fails (something that used to be fully skipped or empty now
-isn't — worth a human look).
+isn't — worth a human look). An invariant metric present in the current run
+but absent from its baseline also fails (the bench emits a counter the
+baseline predates — refresh the baseline so the new counter is gated too).
 
 Refreshing baselines after an intentional behavior change:
 
@@ -70,6 +72,12 @@ def compare(name, baseline, current, threshold):
         if cur is None:
             failures.append(f"{name}: metric '{metric}' missing from current run")
             continue
+        if "value" not in base or "value" not in cur:
+            which = "baseline" if "value" not in base else "current"
+            failures.append(
+                f"{name}: metric '{metric}' has no value in the {which} file "
+                f"— corrupt or hand-edited JSON")
+            continue
         base_value = float(base["value"])
         cur_value = float(cur["value"])
         if base_value == 0.0:
@@ -83,6 +91,18 @@ def compare(name, baseline, current, threshold):
                 f"{name}: '{metric}' {base_value:g} -> {cur_value:g} "
                 f"({ratio:.2f}x, allowed [{1.0 / threshold:.2f}, "
                 f"{threshold:.2f}])")
+    # The reverse direction: the bench now emits an invariant counter the
+    # committed baseline has no entry for (typically a new JobCounters
+    # field). Fail with a clear pointer instead of silently skipping it —
+    # an ungated counter is a regression gate with a hole in it.
+    for metric, cur in sorted(cur_metrics.items()):
+        unit = cur.get("unit", "") if isinstance(cur, dict) else ""
+        if unit not in INVARIANT_UNITS or metric in base_metrics:
+            continue
+        failures.append(
+            f"{name}: metric '{metric}' ({unit}) has no baseline entry — the "
+            f"bench emits a counter its baseline predates; refresh "
+            f"bench/baseline/ (see the docstring of this script)")
     return failures
 
 
