@@ -1,0 +1,98 @@
+#include "common/delete_bitmap.h"
+
+#include "common/crc32.h"
+
+namespace minihive {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'H', 'D', 'B'};
+constexpr uint8_t kVersion = 1;
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+DeleteBitmap::DeleteBitmap(uint64_t num_rows)
+    : num_rows_(num_rows), words_((num_rows + 63) / 64, 0) {}
+
+bool DeleteBitmap::MarkDeleted(uint64_t ordinal) {
+  if (ordinal >= num_rows_) {
+    num_rows_ = ordinal + 1;
+    words_.resize((num_rows_ + 63) / 64, 0);
+  }
+  uint64_t& word = words_[ordinal >> 6];
+  uint64_t bit = uint64_t{1} << (ordinal & 63);
+  if (word & bit) return false;
+  word |= bit;
+  ++deleted_count_;
+  return true;
+}
+
+std::string DeleteBitmap::Encode() const {
+  std::string out;
+  out.reserve(4 + 1 + 8 + 8 + words_.size() * 8 + 4);
+  out.append(kMagic, 4);
+  out.push_back(static_cast<char>(kVersion));
+  PutU64(&out, num_rows_);
+  PutU64(&out, deleted_count_);
+  for (uint64_t w : words_) PutU64(&out, w);
+  uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+Result<DeleteBitmap> DeleteBitmap::Decode(std::string_view data) {
+  constexpr size_t kHeader = 4 + 1 + 8 + 8;
+  if (data.size() < kHeader + 4) {
+    return Status::Corruption("delete bitmap sidecar truncated");
+  }
+  if (std::string_view(data.data(), 4) != std::string_view(kMagic, 4)) {
+    return Status::Corruption("delete bitmap sidecar: bad magic");
+  }
+  if (static_cast<uint8_t>(data[4]) != kVersion) {
+    return Status::Corruption("delete bitmap sidecar: unknown version");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<uint8_t>(data[data.size() - 4 + i]))
+                  << (8 * i);
+  }
+  if (Crc32(data.substr(0, data.size() - 4)) != stored_crc) {
+    return Status::Corruption("delete bitmap sidecar: CRC mismatch");
+  }
+  DeleteBitmap bitmap;
+  bitmap.num_rows_ = GetU64(data.data() + 5);
+  bitmap.deleted_count_ = GetU64(data.data() + 13);
+  size_t num_words = (bitmap.num_rows_ + 63) / 64;
+  if (data.size() != kHeader + num_words * 8 + 4) {
+    return Status::Corruption("delete bitmap sidecar: length mismatch");
+  }
+  bitmap.words_.resize(num_words);
+  uint64_t popcount = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    bitmap.words_[i] = GetU64(data.data() + kHeader + i * 8);
+    popcount += static_cast<uint64_t>(__builtin_popcountll(bitmap.words_[i]));
+  }
+  if (popcount != bitmap.deleted_count_) {
+    return Status::Corruption("delete bitmap sidecar: count mismatch");
+  }
+  return bitmap;
+}
+
+}  // namespace minihive

@@ -1,0 +1,75 @@
+#ifndef MINIHIVE_COMMON_DELETE_BITMAP_H_
+#define MINIHIVE_COMMON_DELETE_BITMAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace minihive {
+
+/// Per-data-file deletion marks for merge-on-read tables: bit i set means
+/// the file's i-th row (absolute ordinal, counting every physical row in
+/// file order) is deleted and must not be returned by any scan. Readers
+/// apply the bitmap during the scan; compaction rewrites the surviving rows
+/// and drops the bitmap, so a bitmap only ever grows between rewrites.
+///
+/// The sidecar encoding (`Encode`/`Decode`) is the on-disk format written
+/// next to the data file as `<file>.del` — see docs/TABLE_FORMAT.md:
+///   "MHDB" | u8 version=1 | u64 num_rows | u64 deleted_count |
+///   packed little-endian u64 words (ceil(num_rows/64)) | u32 CRC-32
+/// The CRC covers every preceding byte.
+class DeleteBitmap {
+ public:
+  DeleteBitmap() = default;
+  /// A bitmap over `num_rows` rows, initially all live.
+  explicit DeleteBitmap(uint64_t num_rows);
+
+  uint64_t num_rows() const { return num_rows_; }
+  /// Number of deleted rows.
+  uint64_t deleted_count() const { return deleted_count_; }
+  bool empty() const { return deleted_count_ == 0; }
+
+  /// True when row `ordinal` is deleted. Ordinals past num_rows read as
+  /// live, so a stale (shorter) bitmap never hides newly appended rows.
+  bool IsDeleted(uint64_t ordinal) const {
+    if (ordinal >= num_rows_) return false;
+    return (words_[ordinal >> 6] >> (ordinal & 63)) & 1u;
+  }
+
+  /// Marks row `ordinal` deleted; returns true when the bit was newly set.
+  bool MarkDeleted(uint64_t ordinal);
+
+  /// Serializes to the sidecar format above.
+  std::string Encode() const;
+  /// Parses a sidecar; typed Corruption on bad magic, truncation, CRC
+  /// mismatch, or an inconsistent deleted-row count.
+  static Result<DeleteBitmap> Decode(std::string_view data);
+
+ private:
+  uint64_t num_rows_ = 0;
+  uint64_t deleted_count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Bitmaps of one table snapshot keyed by data-file path. Shared pointers:
+/// a query that captured a snapshot keeps its bitmaps alive even while a
+/// concurrent DELETE publishes a grown replacement.
+using DeleteBitmapMap =
+    std::unordered_map<std::string, std::shared_ptr<const DeleteBitmap>>;
+
+/// The bitmap for `path`, or null when the map is absent or has no entry.
+inline const DeleteBitmap* FindDeleteBitmap(const DeleteBitmapMap* bitmaps,
+                                            const std::string& path) {
+  if (bitmaps == nullptr) return nullptr;
+  auto it = bitmaps->find(path);
+  return it == bitmaps->end() ? nullptr : it->second.get();
+}
+
+}  // namespace minihive
+
+#endif  // MINIHIVE_COMMON_DELETE_BITMAP_H_

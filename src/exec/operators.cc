@@ -804,6 +804,7 @@ Result<std::shared_ptr<MapJoinTables>> BuildMapJoinTables(
     for (const std::string& path : source.paths) {
       formats::ReadOptions options;
       options.projected_columns = side.projection;
+      options.delete_bitmap = FindDeleteBitmap(&source.delete_bitmaps, path);
       MINIHIVE_ASSIGN_OR_RETURN(
           std::unique_ptr<formats::RowReader> reader,
           format->OpenReader(fs, path, source.schema, options));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/delete_bitmap.h"
 #include "common/telemetry.h"
 #include "dfs/file_system.h"
 #include "exec/plan.h"
@@ -112,6 +113,10 @@ struct TaskContext {
   /// Two-phase late-materialized vectorized ORC scans (filter columns
   /// first, lazy columns only for surviving groups).
   bool enable_late_materialization = true;
+  /// Merge-on-read delete bitmaps of the scanned source, keyed by file
+  /// path (mutable unique-key tables). Readers drop marked rows inside the
+  /// scan; null or no entry = no deletions for that file.
+  const DeleteBitmapMap* delete_bitmaps = nullptr;
 };
 
 /// Base runtime operator. The push-based model from Hive: parents call
@@ -195,6 +200,9 @@ struct SmallTableSource {
   std::vector<std::string> paths;
   formats::FormatKind format = formats::FormatKind::kTextFile;
   TypePtr schema;
+  /// Delete bitmaps by file path (mutable tables): deleted rows must not
+  /// enter a map-join build side any more than a scan.
+  DeleteBitmapMap delete_bitmaps;
 };
 using TableResolver =
     std::function<Result<SmallTableSource>(const std::string&)>;

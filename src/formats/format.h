@@ -12,7 +12,8 @@
 #include "dfs/file_system.h"
 
 namespace minihive {
-class TaskGovernor;  // Defined in common/query_context.h.
+class TaskGovernor;   // Defined in common/query_context.h.
+class DeleteBitmap;   // Defined in common/delete_bitmap.h.
 }  // namespace minihive
 
 namespace minihive::orc {
@@ -56,6 +57,10 @@ struct ReadOptions {
   /// row-evaluable pushed-down predicates first, decode remaining projected
   /// columns only for surviving groups. Ignored by row-mode readers.
   bool enable_late_materialization = true;
+  /// Merge-on-read deletion marks for this file (mutable unique-key
+  /// tables). Only ORC applies it — managed mutable tables are ORC-only —
+  /// and the bitmap must outlive the reader. Null = no deletions.
+  const DeleteBitmap* delete_bitmap = nullptr;
 };
 
 /// Appends rows to one file; Close() finalizes the file.

@@ -55,6 +55,7 @@ Result<std::unique_ptr<RowReader>> OrcFileFormatAdapter::OpenReader(
   read_options.use_metadata_cache = options.use_metadata_cache;
   read_options.enable_late_materialization =
       options.enable_late_materialization;
+  read_options.delete_bitmap = options.delete_bitmap;
   MINIHIVE_ASSIGN_OR_RETURN(std::unique_ptr<orc::OrcReader> reader,
                             orc::OrcReader::Open(fs, path, read_options));
   return std::unique_ptr<RowReader>(new OrcFormatReader(std::move(reader)));

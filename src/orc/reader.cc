@@ -456,6 +456,15 @@ class OrcReader::Impl {
         }
       }
     }
+    // File-absolute first-row ordinal of every stripe, computed over ALL
+    // stripes (not just this split's) so delete-bitmap ordinals line up no
+    // matter how the file is split across tasks.
+    stripe_row_starts_.resize(tail_->stripes.size());
+    uint64_t stripe_row_base = 0;
+    for (size_t s = 0; s < tail_->stripes.size(); ++s) {
+      stripe_row_starts_[s] = stripe_row_base;
+      stripe_row_base += tail_->stripes[s].num_rows;
+    }
     for (size_t s = 0; s < tail_->stripes.size(); ++s) {
       const StripeInformation& stripe = tail_->stripes[s];
       if (stripe.offset < options_.split_offset || stripe.offset >= split_end) {
@@ -478,15 +487,23 @@ class OrcReader::Impl {
   bool tail_cache_hit() const { return tail_cache_hit_; }
 
   Result<bool> NextRow(Row* row) {
-    MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
-    if (done_) return false;
-    row->assign(root_.children.size(), Value::Null());
-    for (int field : projected_) {
-      MINIHIVE_RETURN_IF_ERROR(
-          ReconstructValue(root_.children[field].get(), &(*row)[field]));
+    for (;;) {
+      MINIHIVE_RETURN_IF_ERROR(EnsureGroup());
+      if (done_) return false;
+      // In row mode the selection mask only ever carries delete-bitmap
+      // verdicts (late materialization is batch-only). A masked row must
+      // still be reconstructed: the per-node value cursors are sequential,
+      // so skipping its decode would desync every later row.
+      const bool deleted =
+          group_sel_active_ && group_sel_[rows_in_group_cursor_] == 0;
+      row->assign(root_.children.size(), Value::Null());
+      for (int field : projected_) {
+        MINIHIVE_RETURN_IF_ERROR(
+            ReconstructValue(root_.children[field].get(), &(*row)[field]));
+      }
+      ++rows_in_group_cursor_;
+      if (!deleted) return true;
     }
-    ++rows_in_group_cursor_;
-    return true;
   }
 
   Result<std::unique_ptr<vec::VectorizedRowBatch>> CreateBatch() const {
@@ -536,6 +553,7 @@ class OrcReader::Impl {
   uint64_t groups_skipped() const { return groups_skipped_; }
   uint64_t rows_late_skipped() const { return rows_late_skipped_; }
   uint64_t lazy_decodes_avoided() const { return lazy_decodes_avoided_; }
+  uint64_t rows_deleted_skipped() const { return rows_deleted_skipped_; }
 
   const std::vector<int>& projected() const { return projected_; }
 
@@ -912,7 +930,36 @@ class OrcReader::Impl {
     group_iter_ = 0;
     current_group_rows_ = 0;
     rows_in_group_cursor_ = 0;
+    // Per-group first-row ordinals within this stripe (delete-bitmap
+    // addressing): group g's absolute base is the stripe's base plus the
+    // rows of every earlier group, independent of SARG group skipping.
+    stripe_row_base_ = stripe_row_starts_[stripe_index];
+    group_row_base_.assign(stripe_footer_->num_groups, 0);
+    uint64_t group_base = 0;
+    for (uint32_t g = 0; g < stripe_footer_->num_groups; ++g) {
+      group_row_base_[g] = group_base;
+      group_base += stripe_footer_->instance_counts[0][g];
+    }
     return Status::OK();
+  }
+
+  /// Folds the file's delete bitmap into the current group's selection
+  /// mask. Activates the mask lazily: groups with no deleted rows keep the
+  /// dense (mask-free) fast path.
+  void ApplyDeleteBitmap(uint64_t instances) {
+    const DeleteBitmap* bitmap = options_.delete_bitmap;
+    if (bitmap == nullptr || bitmap->empty()) return;
+    for (uint64_t i = 0; i < instances; ++i) {
+      if (!bitmap->IsDeleted(group_abs_base_ + i)) continue;
+      if (!group_sel_active_) {
+        group_sel_.assign(instances, 1);
+        group_sel_active_ = true;
+      }
+      if (group_sel_[i] != 0) {
+        group_sel_[i] = 0;
+        ++rows_deleted_skipped_;
+      }
+    }
   }
 
   Status DecodeGroup(uint32_t g) {
@@ -929,6 +976,8 @@ class OrcReader::Impl {
     }
     current_group_rows_ = stripe_footer_->instance_counts[0][g];
     rows_in_group_cursor_ = 0;
+    group_abs_base_ = stripe_row_base_ + group_row_base_[g];
+    ApplyDeleteBitmap(current_group_rows_);
     return Status::OK();
   }
 
@@ -984,6 +1033,8 @@ class OrcReader::Impl {
     group_sel_active_ = dead > 0;
     current_group_rows_ = instances;
     rows_in_group_cursor_ = 0;
+    group_abs_base_ = stripe_row_base_ + group_row_base_[g];
+    ApplyDeleteBitmap(instances);
     return Status::OK();
   }
 
@@ -1304,6 +1355,12 @@ class OrcReader::Impl {
   std::vector<int> projected_;
 
   std::vector<size_t> selected_stripes_;
+  // Delete-bitmap addressing: file-absolute first-row ordinal of every
+  // stripe / of each group in the loaded stripe / of the decoded group.
+  std::vector<uint64_t> stripe_row_starts_;
+  uint64_t stripe_row_base_ = 0;
+  std::vector<uint64_t> group_row_base_;
+  uint64_t group_abs_base_ = 0;
   size_t stripe_iter_ = 0;
   bool stripe_loaded_ = false;
   bool ppd_mode_ = false;
@@ -1340,6 +1397,7 @@ class OrcReader::Impl {
   uint64_t groups_skipped_ = 0;
   uint64_t rows_late_skipped_ = 0;
   uint64_t lazy_decodes_avoided_ = 0;
+  uint64_t rows_deleted_skipped_ = 0;
 };
 
 OrcReader::OrcReader(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -1381,6 +1439,9 @@ uint64_t OrcReader::rows_late_skipped() const {
 }
 uint64_t OrcReader::lazy_decodes_avoided() const {
   return impl_->lazy_decodes_avoided();
+}
+uint64_t OrcReader::rows_deleted_skipped() const {
+  return impl_->rows_deleted_skipped();
 }
 bool OrcReader::tail_cache_hit() const { return impl_->tail_cache_hit(); }
 

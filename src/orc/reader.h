@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/delete_bitmap.h"
 #include "common/query_context.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -54,6 +55,13 @@ struct OrcReadOptions {
   /// rows; the row-level selection is handed to the batch via selected[].
   /// Only affects NextBatch() with an active SARG; NextRow() stays eager.
   bool enable_late_materialization = true;
+  /// Merge-on-read deletion marks for this file, keyed by absolute row
+  /// ordinal (every physical row, in file order). Deleted rows are dropped
+  /// inside the reader — folded into the batch's selected[] mask in
+  /// vectorized mode and skipped (cursor-consistently) in row mode — so
+  /// both paths return identical live rows even for mid-file splits. Null =
+  /// no deletions. The bitmap must outlive the reader.
+  const DeleteBitmap* delete_bitmap = nullptr;
 };
 
 /// Reads one ORC file: row-at-a-time via NextRow() or in vectorized batches
@@ -96,6 +104,8 @@ class OrcReader {
   uint64_t rows_late_skipped() const;
   /// Per-column group decodes skipped because phase 1 left a group empty.
   uint64_t lazy_decodes_avoided() const;
+  /// Rows dropped by the file's delete bitmap (merge-on-read).
+  uint64_t rows_deleted_skipped() const;
   /// True when the file tail was served from the metadata cache (no tail
   /// bytes were read or parsed by this reader).
   bool tail_cache_hit() const;

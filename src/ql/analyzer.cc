@@ -620,6 +620,21 @@ Result<SubPlan> QueryPlanner::PlanQuery(const AstQuery& query,
 
 }  // namespace
 
+Result<ExprPtr> ResolveScalarExpr(const AstExpr& ast, const TypePtr& schema) {
+  if (schema == nullptr || schema->kind() != TypeKind::kStruct) {
+    return Status::InvalidArgument("expected a struct schema");
+  }
+  std::vector<ColInfo> columns;
+  const auto& names = schema->field_names();
+  for (size_t i = 0; i < names.size(); ++i) {
+    ColInfo col;
+    col.name = names[i];
+    col.type = schema->children()[i]->kind();
+    columns.push_back(std::move(col));
+  }
+  return Resolver(&columns).Resolve(ast);
+}
+
 Result<PlannedQuery> Analyzer::Analyze(const AstQuery& query,
                                        const std::string& result_path) {
   QueryPlanner planner(catalog_);

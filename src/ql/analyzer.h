@@ -30,6 +30,13 @@ struct PlannedQuery {
   std::string DebugString() const;
 };
 
+/// Resolves a scalar (non-aggregate) AST expression directly against a
+/// table schema: column names bind to top-level field indexes. Used by the
+/// DML path to compile DELETE predicates and by partition-value checks —
+/// the resulting tree Evals against full-schema rows.
+Result<exec::ExprPtr> ResolveScalarExpr(const AstExpr& ast,
+                                        const TypePtr& schema);
+
 /// Translates an AST into the canonical operator DAG, inserting
 /// ReduceSinkOperators wherever an operation needs re-partitioned input
 /// (joins, aggregations, order-by), exactly as the paper's §2 describes the

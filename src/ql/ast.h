@@ -77,6 +77,49 @@ struct AstQuery {
   int64_t limit = -1;
 };
 
+// ---------------------------------------------------------------- DDL/DML
+
+struct AstColumnDef {
+  std::string name;
+  std::string type;  // Hive type name: INT, BIGINT, DOUBLE, STRING, ...
+};
+
+/// CREATE TABLE t (col TYPE, ...) [PARTITIONED BY (col, ...)]
+/// [UNIQUE KEY (col)] [STORED AS ORC]
+struct AstCreateTable {
+  std::string table;
+  std::vector<AstColumnDef> columns;
+  std::vector<std::string> partition_cols;
+  std::string unique_key;
+};
+
+/// INSERT INTO t VALUES (expr, ...), (expr, ...), ...
+struct AstInsert {
+  std::string table;
+  std::vector<std::vector<AstExprPtr>> rows;
+};
+
+/// DELETE FROM t [WHERE condition]
+struct AstDelete {
+  std::string table;
+  AstExprPtr where;  // Null = every row.
+};
+
+enum class AstStatementKind { kQuery, kCreateTable, kDropTable, kInsert,
+                              kDelete };
+
+/// One parsed SQL statement: a query or one of the table-mutation forms.
+/// Exactly the member matching `kind` is set.
+struct AstStatement {
+  AstStatementKind kind = AstStatementKind::kQuery;
+  AstQueryPtr query;
+  std::shared_ptr<AstCreateTable> create;
+  std::string drop_table;
+  std::shared_ptr<AstInsert> insert;
+  std::shared_ptr<AstDelete> delete_stmt;
+};
+using AstStatementPtr = std::shared_ptr<AstStatement>;
+
 }  // namespace minihive::ql
 
 #endif  // MINIHIVE_QL_AST_H_

@@ -23,11 +23,58 @@ Status Catalog::CreateTable(const std::string& name, TypePtr schema,
   return Status::OK();
 }
 
+Status Catalog::CreateManagedTable(const std::string& name, TypePtr schema,
+                                   std::vector<std::string> partition_cols,
+                                   std::string unique_key,
+                                   codec::CompressionKind compression) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  if (schema == nullptr || schema->kind() != TypeKind::kStruct) {
+    return Status::InvalidArgument("table schema must be a struct");
+  }
+  schema->AssignColumnIds(0);
+  TableDesc desc;
+  desc.name = name;
+  desc.schema = std::move(schema);
+  desc.format = formats::FormatKind::kOrcFile;
+  desc.compression = compression;
+  desc.path_prefix = "/warehouse/" + name;
+  desc.partition_cols = std::move(partition_cols);
+  desc.unique_key = std::move(unique_key);
+  for (const std::string& col : desc.partition_cols) {
+    int field = desc.FieldIndex(col);
+    if (field < 0) {
+      return Status::InvalidArgument("unknown partition column: " + col);
+    }
+    TypeKind kind = desc.schema->children()[field]->kind();
+    if (kind == TypeKind::kStruct || kind == TypeKind::kArray ||
+        kind == TypeKind::kMap || kind == TypeKind::kUnion) {
+      return Status::InvalidArgument("partition column must be primitive: " +
+                                     col);
+    }
+  }
+  if (!desc.unique_key.empty()) {
+    int field = desc.FieldIndex(desc.unique_key);
+    if (field < 0) {
+      return Status::InvalidArgument("unknown unique key column: " +
+                                     desc.unique_key);
+    }
+  }
+  desc.state = std::make_shared<ManagedTableState>();
+  desc.state->snapshot = std::make_shared<const TableSnapshot>();
+  tables_[name] = std::move(desc);
+  return Status::OK();
+}
+
 Status Catalog::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
-  for (const std::string& path : TableFiles(it->second)) {
+  // Delete by directory listing, not the manifest: a managed table may
+  // also own compaction tombstones and delete-bitmap sidecars.
+  for (const std::string& path : fs_->List(it->second.path_prefix + "/")) {
     MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
   }
   tables_.erase(it);
@@ -39,6 +86,41 @@ Result<const TableDesc*> Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   return &it->second;
+}
+
+std::vector<std::string> Catalog::ManagedTableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, desc] : tables_) {
+    if (desc.managed()) names.push_back(name);
+  }
+  return names;
+}
+
+std::shared_ptr<const TableSnapshot> Catalog::Snapshot(
+    const TableDesc& table) const {
+  if (!table.managed()) return nullptr;
+  std::lock_guard<std::mutex> lock(table.state->snap_mu);
+  return table.state->snapshot;
+}
+
+Status Catalog::PublishSnapshot(
+    const TableDesc& table,
+    const std::function<Status(TableSnapshot*)>& mutate) const {
+  if (!table.managed()) {
+    return Status::InvalidArgument("not a managed table: " + table.name);
+  }
+  std::shared_ptr<const TableSnapshot> current;
+  {
+    std::lock_guard<std::mutex> lock(table.state->snap_mu);
+    current = table.state->snapshot;
+  }
+  auto next = std::make_shared<TableSnapshot>(*current);
+  next->version += 1;
+  MINIHIVE_RETURN_IF_ERROR(mutate(next.get()));
+  std::lock_guard<std::mutex> lock(table.state->snap_mu);
+  table.state->snapshot = std::move(next);
+  return Status::OK();
 }
 
 }  // namespace minihive::ql

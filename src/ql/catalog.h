@@ -1,28 +1,117 @@
 #ifndef MINIHIVE_QL_CATALOG_H_
 #define MINIHIVE_QL_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "codec/codec.h"
+#include "common/delete_bitmap.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "common/value.h"
 #include "dfs/file_system.h"
 #include "formats/format.h"
 
 namespace minihive::ql {
 
+/// One data file of a managed table's snapshot: its path, the partition it
+/// belongs to, row/byte accounting, and the merge-on-read delete bitmap
+/// (null = no deletions). Snapshots are immutable once published; a grown
+/// bitmap is published as a new snapshot holding a new bitmap object.
+struct TableFile {
+  std::string path;
+  /// Values of the table's partition columns, aligned with
+  /// TableDesc::partition_cols. Empty for unpartitioned tables.
+  std::vector<Value> partition_values;
+  uint64_t num_rows = 0;
+  uint64_t bytes = 0;
+  /// Monotonic per-table commit sequence the file was committed under.
+  uint64_t sequence = 0;
+  std::shared_ptr<const DeleteBitmap> delete_bitmap;
+
+  /// Rows the file contributes to a scan (physical minus deleted).
+  uint64_t live_rows() const {
+    return delete_bitmap == nullptr ? num_rows
+                                    : num_rows - delete_bitmap->deleted_count();
+  }
+};
+
+/// Immutable manifest of a managed table at one commit version. Queries
+/// capture a shared_ptr at planning time and scan exactly these files with
+/// exactly these bitmaps, regardless of concurrent INSERT / DELETE /
+/// compaction commits (snapshot isolation at file granularity).
+struct TableSnapshot {
+  uint64_t version = 0;
+  std::vector<TableFile> files;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const TableFile& f : files) total += f.bytes;
+    return total;
+  }
+  bool HasDeletes() const {
+    for (const TableFile& f : files) {
+      if (f.delete_bitmap != nullptr && !f.delete_bitmap->empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// Where one live row of a unique-key table physically is.
+struct RowLocation {
+  std::string path;
+  uint64_t ordinal = 0;
+};
+
+/// Mutable bookkeeping of one managed table, owned by the catalog for the
+/// table's lifetime. `write_mu` serializes writers (INSERT / DELETE /
+/// compaction) end-to-end — each writer's read-modify-write spans file
+/// writes plus the snapshot swap. Readers never take it: they copy the
+/// current snapshot pointer under `snap_mu` and go.
+struct ManagedTableState {
+  std::mutex write_mu;
+  mutable std::mutex snap_mu;
+  std::shared_ptr<const TableSnapshot> snapshot;
+  /// Next value of the per-table commit sequence (file naming).
+  uint64_t next_sequence = 0;
+  /// Unique-key tables: serialized key -> live row location. Maintained by
+  /// writers under write_mu; upsert consults it to mark the loser deleted.
+  std::unordered_map<std::string, RowLocation> key_index;
+  /// Files replaced by compaction, awaiting physical deletion. Deleting is
+  /// deferred one compaction cycle so queries that captured the previous
+  /// snapshot finish their scans first.
+  std::vector<std::string> tombstones;
+};
+
 /// Metadata for one table: schema, storage format, and the DFS directory
 /// its files live under. The in-process analogue of Hive's Metastore.
+///
+/// Two kinds of table share this struct. *Unmanaged* tables (the legacy
+/// datagen path) are just a directory: every file under `path_prefix`
+/// belongs to the table. *Managed* tables (`state != nullptr`, created by
+/// CREATE TABLE) track an explicit snapshot manifest supporting partitioned
+/// layout, INSERT INTO, unique-key upsert/DELETE, and compaction.
 struct TableDesc {
   std::string name;
   TypePtr schema;  // Struct of top-level columns.
   formats::FormatKind format = formats::FormatKind::kTextFile;
   codec::CompressionKind compression = codec::CompressionKind::kNone;
   std::string path_prefix;  // Files live at path_prefix + "/...".
+  /// Hive-style partition columns (names of schema columns). Partition
+  /// values are stored both in the directory name (`col=value/`) and in the
+  /// data files themselves, so scans need no virtual-column splicing.
+  std::vector<std::string> partition_cols;
+  /// Unique-key column name; non-empty enables upsert + DELETE semantics.
+  std::string unique_key;
+  /// Managed-table bookkeeping; null for unmanaged tables.
+  std::shared_ptr<ManagedTableState> state;
+
+  bool managed() const { return state != nullptr; }
 
   int FieldIndex(const std::string& column) const {
     const auto& names = schema->field_names();
@@ -30,6 +119,15 @@ struct TableDesc {
       if (names[i] == column) return static_cast<int>(i);
     }
     return -1;
+  }
+  /// Schema field indexes of partition_cols, in order.
+  std::vector<int> PartitionIndexes() const {
+    std::vector<int> indexes;
+    indexes.reserve(partition_cols.size());
+    for (const std::string& col : partition_cols) {
+      indexes.push_back(FieldIndex(col));
+    }
+    return indexes;
   }
 };
 
@@ -42,11 +140,22 @@ class Catalog {
  public:
   explicit Catalog(dfs::FileSystem* fs) : fs_(fs) {}
 
-  /// Registers a table whose files live under `/warehouse/<name>`.
+  /// Registers an unmanaged table whose files live under
+  /// `/warehouse/<name>` (the datagen bulk-load path).
   Status CreateTable(const std::string& name, TypePtr schema,
                      formats::FormatKind format,
                      codec::CompressionKind compression =
                          codec::CompressionKind::kNone);
+
+  /// Registers a managed (snapshot-tracked) table: optional Hive-style
+  /// partition columns and optional unique-key column. Managed tables are
+  /// ORC-only (the delete-bitmap merge-on-read path needs ORC's absolute
+  /// row addressing). Starts empty at snapshot version 0.
+  Status CreateManagedTable(const std::string& name, TypePtr schema,
+                            std::vector<std::string> partition_cols,
+                            std::string unique_key,
+                            codec::CompressionKind compression =
+                                codec::CompressionKind::kNone);
 
   Status DropTable(const std::string& name);
 
@@ -55,14 +164,37 @@ class Catalog {
     std::lock_guard<std::mutex> lock(mu_);
     return tables_.count(name) > 0;
   }
+  /// Names of all managed tables (compaction scheduling).
+  std::vector<std::string> ManagedTableNames() const;
 
-  /// Paths of all files currently belonging to the table.
+  /// Current snapshot of a managed table (never null for one); null for
+  /// unmanaged tables.
+  std::shared_ptr<const TableSnapshot> Snapshot(const TableDesc& table) const;
+
+  /// Atomically publishes the next snapshot of a managed table: copies the
+  /// current manifest, applies `mutate`, stamps version+1, and swaps it in.
+  /// Caller must hold `table.state->write_mu` (writers are serialized; the
+  /// swap itself is what readers observe atomically).
+  Status PublishSnapshot(
+      const TableDesc& table,
+      const std::function<Status(TableSnapshot*)>& mutate) const;
+
+  /// Paths of all files currently belonging to the table: the snapshot
+  /// manifest for managed tables, a directory listing otherwise.
   std::vector<std::string> TableFiles(const TableDesc& table) const {
+    if (table.managed()) {
+      std::vector<std::string> paths;
+      auto snapshot = Snapshot(table);
+      paths.reserve(snapshot->files.size());
+      for (const TableFile& f : snapshot->files) paths.push_back(f.path);
+      return paths;
+    }
     return fs_->List(table.path_prefix + "/");
   }
 
   /// Total stored bytes of the table (drives map-join conversion).
   uint64_t TableBytes(const TableDesc& table) const {
+    if (table.managed()) return Snapshot(table)->TotalBytes();
     return fs_->TotalSize(table.path_prefix + "/");
   }
 

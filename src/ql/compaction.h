@@ -1,0 +1,116 @@
+#ifndef MINIHIVE_QL_COMPACTION_H_
+#define MINIHIVE_QL_COMPACTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/budget.h"
+#include "common/result.h"
+#include "common/scheduler.h"
+#include "dfs/file_system.h"
+#include "ql/catalog.h"
+
+namespace minihive::ql {
+
+struct CompactionOptions {
+  /// Files at or below this size attract merging (small-file problem).
+  uint64_t small_file_bytes = 4 * 1024 * 1024;
+  /// A candidate range must span at least this many files — unless a single
+  /// file clears deleted_ratio_trigger, which justifies a rewrite alone.
+  size_t min_files = 2;
+  /// Cap on files rewritten by one compaction task.
+  size_t max_files = 16;
+  /// Deleted-row fraction above which a file is worth rewriting regardless
+  /// of its size (merge-on-read debt).
+  double deleted_ratio_trigger = 0.2;
+  /// Scoring weights (see SelectCandidate in compaction.cc): merging more
+  /// files is good, reclaiming deleted rows is very good, moving bytes is
+  /// the cost.
+  double file_count_weight = 1.0;
+  double deleted_weight = 4.0;
+  double size_penalty = 0.5;
+  /// Background sweep cadence for Start(); RunOnce() works without it.
+  int interval_millis = 200;
+  /// Bytes charged against the shared MemoryBudget while one rewrite runs
+  /// (writer stripe buffer + reader state). If the reservation fails the
+  /// sweep skips the table — compaction yields to queries under pressure.
+  uint64_t rewrite_budget_bytes = 8 * 1024 * 1024;
+};
+
+struct CompactionStats {
+  uint64_t sweeps = 0;
+  uint64_t tasks_run = 0;
+  uint64_t files_removed = 0;
+  uint64_t files_written = 0;
+  uint64_t rows_rewritten = 0;
+  uint64_t deleted_rows_reclaimed = 0;
+  uint64_t tombstones_deleted = 0;
+  uint64_t budget_skips = 0;
+  uint64_t failures = 0;
+};
+
+/// Background small-file / delete-debt compactor for managed tables.
+///
+/// Each sweep scores, per table and partition, consecutive (commit-order)
+/// runs of rewrite-worthy files and rewrites the best-scoring run into one
+/// new file: live rows only (the delete bitmap is applied during the read),
+/// written via the attempt+rename protocol and committed by one snapshot
+/// swap. Replaced files become tombstones, physically deleted one sweep
+/// later so queries that captured the previous snapshot finish first. A
+/// crash or injected fault mid-rewrite leaves the published snapshot — and
+/// therefore every reader — untouched.
+///
+/// When a TaskScheduler is supplied, rewrites run on its pool through a
+/// kPriorityLow queue, so foreground queries always win the CPU; when a
+/// MemoryBudget is supplied, each rewrite charges rewrite_budget_bytes up
+/// front and skips the table if the reservation fails.
+class CompactionManager {
+ public:
+  CompactionManager(dfs::FileSystem* fs, Catalog* catalog,
+                    CompactionOptions options = CompactionOptions(),
+                    TaskScheduler* scheduler = nullptr,
+                    MemoryBudget* budget = nullptr);
+  ~CompactionManager();
+  CompactionManager(const CompactionManager&) = delete;
+  CompactionManager& operator=(const CompactionManager&) = delete;
+
+  /// One deterministic sweep over every managed table: delete the previous
+  /// sweep's tombstones, then run at most one compaction task per table.
+  /// Returns this sweep's deltas; cumulative numbers are in totals().
+  Result<CompactionStats> RunOnce();
+
+  /// Starts the background sweep thread (idempotent).
+  void Start();
+  /// Stops it, waiting for an in-flight sweep to finish (idempotent).
+  void Stop();
+
+  CompactionStats totals() const;
+
+ private:
+  /// Compacts at most one file range of `table`. All mutation happens under
+  /// the table's write_mu.
+  Status CompactTable(const TableDesc& table, CompactionStats* stats);
+
+  dfs::FileSystem* fs_;
+  Catalog* catalog_;
+  CompactionOptions options_;
+  TaskScheduler* scheduler_;
+  TaskScheduler::Queue* queue_ = nullptr;
+  MemoryBudget* budget_;
+
+  mutable std::mutex stats_mu_;
+  CompactionStats totals_;
+
+  std::thread thread_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_COMPACTION_H_

@@ -8,6 +8,7 @@
 #include "ql/analyzer.h"
 #include "ql/optimizer.h"
 #include "ql/parser.h"
+#include "ql/table_ops.h"
 #include "ql/task_compiler.h"
 #include "vec/simd.h"
 
@@ -46,6 +47,26 @@ bool StripExplainProfile(std::string_view* sql) {
   skip_spaces();
   *sql = s;
   return true;
+}
+
+/// True when `sql` starts with one of the table-mutation keywords
+/// (CREATE/DROP/INSERT/DELETE) — routed to TableOps, not the query planner.
+bool IsTableStatement(std::string_view sql) {
+  while (!sql.empty() &&
+         std::isspace(static_cast<unsigned char>(sql.front()))) {
+    sql.remove_prefix(1);
+  }
+  size_t end = 0;
+  while (end < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[end]))) {
+    ++end;
+  }
+  std::string word;
+  for (size_t i = 0; i < end; ++i) {
+    word += static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i])));
+  }
+  return word == "CREATE" || word == "DROP" || word == "INSERT" ||
+         word == "DELETE";
 }
 
 }  // namespace
@@ -119,6 +140,22 @@ Result<QueryResult> Driver::Explain(std::string_view sql) {
 }
 
 Result<QueryResult> Driver::Run(std::string_view sql, bool execute) {
+  // DDL/DML goes to the table-mutation path: no planning, no MapReduce
+  // jobs — parse, then run the commit protocol against the catalog.
+  if (IsTableStatement(sql)) {
+    Stopwatch watch;
+    MINIHIVE_ASSIGN_OR_RETURN(AstStatementPtr statement, ParseStatement(sql));
+    QueryResult result;
+    if (!execute) {
+      result.plan_text = "table statement (no MapReduce plan)\n";
+      return result;
+    }
+    TableOps ops(fs_, catalog_);
+    MINIHIVE_ASSIGN_OR_RETURN(result.rows_affected, ops.Execute(*statement));
+    result.elapsed_millis = watch.ElapsedMillis();
+    return result;
+  }
+
   // EXPLAIN PROFILE <query>: run the inner query with profiling forced on
   // and return the rendered span tree as the plan text.
   bool explain_profile = StripExplainProfile(&sql);
@@ -421,6 +458,7 @@ Result<QueryResult> Driver::RunOnce(std::string_view sql, bool execute,
   exec_options.vectorized = options_.vectorized_execution;
   exec_options.enable_late_materialization =
       options_.enable_late_materialization;
+  exec_options.apply_delete_bitmaps = options_.apply_delete_bitmaps;
   exec_options.use_combiner = options_.shuffle_combiner;
   exec_options.max_task_attempts = options_.max_task_attempts;
   exec_options.query_ctx = &query_ctx;

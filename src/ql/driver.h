@@ -43,6 +43,10 @@ struct DriverOptions {
   /// §4.2: answer simple aggregations over unfiltered ORC tables directly
   /// from file statistics (no scan, no MapReduce job).
   bool stats_aggregation = true;
+  /// Merge-on-read for managed tables: apply per-file delete bitmaps inside
+  /// scans (row and vectorized). Off is a debugging mode that exposes
+  /// physically present rows, including deleted ones.
+  bool apply_delete_bitmaps = true;
   /// Map-side combiner over sorted shuffle runs for GROUP BY jobs with
   /// decomposable aggregates (COUNT/SUM/MIN/MAX). Cuts shuffled_bytes
   /// whenever a map task emits several partials for one key (bounded-memory
@@ -125,6 +129,9 @@ struct DriverOptions {
 struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<Row> rows;
+  /// DML statements (INSERT/DELETE): rows inserted or deleted. 0 for
+  /// queries and DDL.
+  uint64_t rows_affected = 0;
   mr::JobCounters counters;
   std::vector<JobReport> jobs;
   int num_jobs = 0;

@@ -542,6 +542,11 @@ Status TryAnswerFromStatistics(const PlannedQuery& plan,
     return Status::OK();
   }
   const TableDesc* table = *table_result;
+  // Merge-on-read tables with outstanding deletes: the file statistics
+  // still count deleted rows, so a stats-only answer would be wrong.
+  if (table->managed() && catalog->Snapshot(*table)->HasDeletes()) {
+    return Status::OK();
+  }
 
   // Every aggregate must be computable from column statistics.
   for (const exec::AggDesc& agg : gby->aggs) {

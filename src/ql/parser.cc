@@ -27,11 +27,17 @@ struct Token {
 };
 
 const char* kKeywords[] = {
-    "SELECT", "FROM",  "WHERE",  "GROUP", "BY",    "ORDER",  "LIMIT",
-    "JOIN",   "ON",    "AS",     "AND",   "OR",    "NOT",    "BETWEEN",
-    "IN",     "IS",    "NULL",   "TRUE",  "FALSE", "ASC",    "DESC",
-    "LEFT",   "OUTER", "INNER",  "SUM",   "COUNT", "AVG",    "MIN",
-    "MAX",    "DISTINCT"};
+    "SELECT", "FROM",    "WHERE",  "GROUP",  "BY",     "ORDER",
+    "LIMIT",  "JOIN",    "ON",     "AS",     "AND",    "OR",
+    "NOT",    "BETWEEN", "IN",     "IS",     "NULL",   "TRUE",
+    "FALSE",  "ASC",     "DESC",   "LEFT",   "OUTER",  "INNER",
+    "SUM",    "COUNT",   "AVG",    "MIN",    "MAX",    "DISTINCT",
+    "CREATE", "TABLE",   "PARTITIONED",      "UNIQUE",
+    "STORED", "INSERT",  "INTO",   "VALUES", "DELETE", "DROP"};
+// "KEY" is deliberately NOT a keyword: it only ever appears right after
+// UNIQUE (matched contextually there), and datasets commonly name a
+// column `key` — reserving it would uppercase those references and break
+// name resolution.
 
 bool IsKeyword(const std::string& upper) {
   for (const char* kw : kKeywords) {
@@ -186,6 +192,33 @@ class Parser {
     return query;
   }
 
+  Result<AstStatementPtr> ParseOneStatement() {
+    auto stmt = std::make_shared<AstStatement>();
+    if (PeekKeyword("CREATE")) {
+      stmt->kind = AstStatementKind::kCreateTable;
+      MINIHIVE_ASSIGN_OR_RETURN(stmt->create, ParseCreateTable());
+    } else if (PeekKeyword("DROP")) {
+      Advance();
+      if (!ConsumeKeyword("TABLE")) return Error("expected TABLE after DROP");
+      stmt->kind = AstStatementKind::kDropTable;
+      MINIHIVE_ASSIGN_OR_RETURN(stmt->drop_table, ParseName("table name"));
+    } else if (PeekKeyword("INSERT")) {
+      stmt->kind = AstStatementKind::kInsert;
+      MINIHIVE_ASSIGN_OR_RETURN(stmt->insert, ParseInsert());
+    } else if (PeekKeyword("DELETE")) {
+      stmt->kind = AstStatementKind::kDelete;
+      MINIHIVE_ASSIGN_OR_RETURN(stmt->delete_stmt, ParseDelete());
+    } else {
+      stmt->kind = AstStatementKind::kQuery;
+      MINIHIVE_ASSIGN_OR_RETURN(stmt->query, ParseQueryBody());
+    }
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
  private:
   const Token& Peek(int ahead = 0) const {
     size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
@@ -292,6 +325,106 @@ class Parser {
       query->limit = Advance().int_value;
     }
     return query;
+  }
+
+  /// A name position (table / column): identifiers, plus keyword tokens —
+  /// so a column named like a non-reserved word ("key", "count") parses.
+  Result<std::string> ParseName(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent &&
+        Peek().kind != TokenKind::kKeyword) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<std::string>> ParseNameList(const std::string& what) {
+    if (!ConsumeSymbol("(")) return Error("expected '(' before " + what);
+    std::vector<std::string> names;
+    do {
+      MINIHIVE_ASSIGN_OR_RETURN(std::string name, ParseName(what));
+      names.push_back(std::move(name));
+    } while (ConsumeSymbol(","));
+    if (!ConsumeSymbol(")")) return Error("expected ')' after " + what);
+    return names;
+  }
+
+  Result<std::shared_ptr<AstCreateTable>> ParseCreateTable() {
+    Advance();  // CREATE
+    if (!ConsumeKeyword("TABLE")) return Error("expected TABLE after CREATE");
+    auto create = std::make_shared<AstCreateTable>();
+    MINIHIVE_ASSIGN_OR_RETURN(create->table, ParseName("table name"));
+    if (!ConsumeSymbol("(")) return Error("expected '(' after table name");
+    do {
+      AstColumnDef col;
+      MINIHIVE_ASSIGN_OR_RETURN(col.name, ParseName("column name"));
+      MINIHIVE_ASSIGN_OR_RETURN(col.type, ParseName("column type"));
+      std::transform(col.type.begin(), col.type.end(), col.type.begin(),
+                     ::toupper);
+      create->columns.push_back(std::move(col));
+    } while (ConsumeSymbol(","));
+    if (!ConsumeSymbol(")")) return Error("expected ')' after column list");
+    while (true) {
+      if (ConsumeKeyword("PARTITIONED")) {
+        if (!ConsumeKeyword("BY")) return Error("expected BY");
+        MINIHIVE_ASSIGN_OR_RETURN(create->partition_cols,
+                                  ParseNameList("partition columns"));
+      } else if (ConsumeKeyword("UNIQUE")) {
+        // Contextual: "KEY" is an ordinary identifier elsewhere.
+        std::string word;
+        if (Peek().kind == TokenKind::kIdent) {
+          word = Peek().text;
+          std::transform(word.begin(), word.end(), word.begin(), ::toupper);
+        }
+        if (word != "KEY") return Error("expected KEY after UNIQUE");
+        Advance();
+        MINIHIVE_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                                  ParseNameList("unique key column"));
+        if (keys.size() != 1) {
+          return Error("UNIQUE KEY takes exactly one column");
+        }
+        create->unique_key = keys[0];
+      } else if (ConsumeKeyword("STORED")) {
+        if (!ConsumeKeyword("AS")) return Error("expected AS after STORED");
+        MINIHIVE_ASSIGN_OR_RETURN(std::string fmt, ParseName("format name"));
+        std::transform(fmt.begin(), fmt.end(), fmt.begin(), ::toupper);
+        if (fmt != "ORC") {
+          return Error("managed tables are ORC-only (STORED AS ORC)");
+        }
+      } else {
+        break;
+      }
+    }
+    return create;
+  }
+
+  Result<std::shared_ptr<AstInsert>> ParseInsert() {
+    Advance();  // INSERT
+    if (!ConsumeKeyword("INTO")) return Error("expected INTO after INSERT");
+    auto insert = std::make_shared<AstInsert>();
+    MINIHIVE_ASSIGN_OR_RETURN(insert->table, ParseName("table name"));
+    if (!ConsumeKeyword("VALUES")) return Error("expected VALUES");
+    do {
+      if (!ConsumeSymbol("(")) return Error("expected '(' before row values");
+      std::vector<AstExprPtr> row;
+      do {
+        MINIHIVE_ASSIGN_OR_RETURN(AstExprPtr value, ParseExpr());
+        row.push_back(std::move(value));
+      } while (ConsumeSymbol(","));
+      if (!ConsumeSymbol(")")) return Error("expected ')' after row values");
+      insert->rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+    return insert;
+  }
+
+  Result<std::shared_ptr<AstDelete>> ParseDelete() {
+    Advance();  // DELETE
+    if (!ConsumeKeyword("FROM")) return Error("expected FROM after DELETE");
+    auto del = std::make_shared<AstDelete>();
+    MINIHIVE_ASSIGN_OR_RETURN(del->table, ParseName("table name"));
+    if (ConsumeKeyword("WHERE")) {
+      MINIHIVE_ASSIGN_OR_RETURN(del->where, ParseExpr());
+    }
+    return del;
   }
 
   Result<AstTableRef> ParseTableRef() {
@@ -569,6 +702,12 @@ Result<AstQueryPtr> ParseQuery(std::string_view sql) {
   std::vector<Token> tokens;
   MINIHIVE_RETURN_IF_ERROR(Lexer(sql).Tokenize(&tokens));
   return Parser(std::move(tokens)).Parse();
+}
+
+Result<AstStatementPtr> ParseStatement(std::string_view sql) {
+  std::vector<Token> tokens;
+  MINIHIVE_RETURN_IF_ERROR(Lexer(sql).Tokenize(&tokens));
+  return Parser(std::move(tokens)).ParseOneStatement();
 }
 
 std::string AstExpr::ToString() const {

@@ -23,6 +23,16 @@ namespace minihive::ql {
 /// case-insensitive; a trailing ';' is allowed.
 Result<AstQueryPtr> ParseQuery(std::string_view sql);
 
+/// Parses one statement: a SELECT query (as above) or one of the
+/// table-mutation forms over managed tables:
+///
+///   CREATE TABLE t (col TYPE, ...)
+///     [PARTITIONED BY (col, ...)] [UNIQUE KEY (col)] [STORED AS ORC]
+///   INSERT INTO t VALUES (expr, ...) [, (expr, ...)]...
+///   DELETE FROM t [WHERE condition]
+///   DROP TABLE t
+Result<AstStatementPtr> ParseStatement(std::string_view sql);
+
 }  // namespace minihive::ql
 
 #endif  // MINIHIVE_QL_PARSER_H_

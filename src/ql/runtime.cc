@@ -3,6 +3,9 @@
 #include <set>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "orc/sarg.h"
+#include "orc/statistics.h"
 #include "vec/vectorized_pipeline.h"
 
 namespace minihive::ql {
@@ -19,7 +22,45 @@ struct SourceRuntime {
   formats::FormatKind format = formats::FormatKind::kSequenceFile;
   TypePtr schema;  // Null for temp (variant) inputs.
   std::vector<std::string> paths;
+  /// Managed tables: per-path merge-on-read delete bitmaps captured with
+  /// the snapshot. The shared_ptrs keep the bitmaps alive for the job.
+  DeleteBitmapMap delete_bitmaps;
 };
+
+/// Directory-level partition pruning for managed tables: evaluates the
+/// scan's pushed-down leaves on a file's partition values, modeled as
+/// synthetic min==max column statistics. Any definite-NO leaf drops the
+/// file from the scan without reading a byte of it. Only leaves on
+/// partition columns participate; everything else stays kMaybe.
+bool PartitionPrunes(const std::vector<int>& part_idx, const TableFile& file,
+                     const orc::SearchArgument* sarg) {
+  if (sarg == nullptr || part_idx.empty()) return false;
+  for (const orc::LeafPredicate& leaf : sarg->leaves()) {
+    for (size_t i = 0; i < part_idx.size(); ++i) {
+      if (leaf.column != part_idx[i] || i >= file.partition_values.size()) {
+        continue;
+      }
+      const Value& v = file.partition_values[i];
+      orc::ColumnStatistics stats;
+      if (v.is_null()) {
+        stats.MarkNull();
+      } else if (v.is_int()) {
+        stats.UpdateInt(v.AsInt());
+      } else if (v.is_double()) {
+        stats.UpdateDouble(v.AsDouble());
+      } else if (v.is_string()) {
+        stats.UpdateString(v.AsString());
+      } else {
+        continue;
+      }
+      if (orc::SearchArgument::EvaluateLeaf(leaf, stats) ==
+          orc::TruthValue::kNo) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
 
 /// Collects the MapJoin descriptors of a map region (TS .. RS/FS).
 void CollectMapJoins(const OpDescPtr& root, std::vector<const OpDesc*>* out) {
@@ -84,6 +125,7 @@ class RowMapTask : public mr::MapTask {
     ctx.governor = governor();
     ctx.use_metadata_cache = use_metadata_cache_;
     ctx.enable_late_materialization = enable_late_materialization_;
+    ctx.delete_bitmaps = &source.delete_bitmaps;
 
     // The vectorized path handles eligible pipelines entirely (paper §6);
     // it reports NotImplemented when the pipeline does not qualify, in
@@ -112,6 +154,8 @@ class RowMapTask : public mr::MapTask {
     read_options.governor = governor();
     read_options.use_metadata_cache = use_metadata_cache_;
     read_options.enable_late_materialization = enable_late_materialization_;
+    read_options.delete_bitmap =
+        FindDeleteBitmap(&source.delete_bitmaps, split.path);
     MINIHIVE_ASSIGN_OR_RETURN(
         std::unique_ptr<formats::RowReader> reader,
         format->OpenReader(fs_, split.path, source.schema, read_options));
@@ -284,7 +328,33 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
           catalog_->GetTable(map_source.root->table_name));
       source.format = table->format;
       source.schema = table->schema;
-      source.paths = catalog_->TableFiles(*table);
+      if (table->managed()) {
+        // Snapshot isolation: capture the manifest (files + bitmaps) once;
+        // concurrent INSERT/DELETE/compaction commits cannot perturb this
+        // job's input set. Partition-pruned files never reach the splitter.
+        std::shared_ptr<const TableSnapshot> snapshot =
+            catalog_->Snapshot(*table);
+        const std::vector<int> part_idx = table->PartitionIndexes();
+        uint64_t pruned = 0;
+        for (const TableFile& file : snapshot->files) {
+          if (PartitionPrunes(part_idx, file, map_source.root->sarg.get())) {
+            ++pruned;
+            continue;
+          }
+          source.paths.push_back(file.path);
+          if (options_.apply_delete_bitmaps && file.delete_bitmap != nullptr &&
+              !file.delete_bitmap->empty()) {
+            source.delete_bitmaps[file.path] = file.delete_bitmap;
+          }
+        }
+        if (pruned > 0) {
+          telemetry::MetricsRegistry::Global()
+              .GetCounter("ql.partition_files_pruned")
+              ->Add(pruned);
+        }
+      } else {
+        source.paths = catalog_->TableFiles(*table);
+      }
     }
     sources->push_back(std::move(source));
   }
@@ -297,9 +367,21 @@ Status PlanExecutor::RunJob(const MapRedJob& job, mr::JobCounters* counters,
     MINIHIVE_ASSIGN_OR_RETURN(const TableDesc* table,
                               catalog_->GetTable(name));
     exec::SmallTableSource source;
-    source.paths = catalog_->TableFiles(*table);
     source.format = table->format;
     source.schema = table->schema;
+    if (table->managed()) {
+      std::shared_ptr<const TableSnapshot> snapshot =
+          catalog_->Snapshot(*table);
+      for (const TableFile& file : snapshot->files) {
+        source.paths.push_back(file.path);
+        if (options_.apply_delete_bitmaps && file.delete_bitmap != nullptr &&
+            !file.delete_bitmap->empty()) {
+          source.delete_bitmaps[file.path] = file.delete_bitmap;
+        }
+      }
+    } else {
+      source.paths = catalog_->TableFiles(*table);
+    }
     return source;
   };
   std::vector<const OpDesc*> mapjoins;

@@ -1,0 +1,59 @@
+#ifndef MINIHIVE_QL_TABLE_OPS_H_
+#define MINIHIVE_QL_TABLE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "dfs/file_system.h"
+#include "ql/ast.h"
+#include "ql/catalog.h"
+
+namespace minihive::ql {
+
+/// Hive-style partition path component for one value: "col=<encoded>".
+/// '%'-escapes the characters that would break the directory grammar
+/// ('/', '=', '%', control bytes); NULL encodes as the Hive sentinel
+/// "__HIVE_DEFAULT_PARTITION__".
+std::string EncodePartitionComponent(const std::string& column,
+                                     const Value& value);
+
+/// Directory (relative to the table's path_prefix, no leading/trailing '/')
+/// holding files of the given partition: "p1=v1/p2=v2". Empty for
+/// unpartitioned tables.
+std::string PartitionDirName(const TableDesc& table,
+                             const std::vector<Value>& partition_values);
+
+/// Executes the DDL/DML statement forms over managed tables: CREATE TABLE,
+/// DROP TABLE, INSERT INTO (with unique-key upsert), DELETE FROM. SELECT
+/// statements are the Driver's job, not this class's.
+///
+/// Commit protocol (docs/TABLE_FORMAT.md): every data or sidecar file is
+/// written under an attempt-scoped name and atomically Rename()d to its
+/// final name; the statement's effects become visible in one snapshot swap
+/// at the end. A failure at any earlier point leaves the published snapshot
+/// untouched — at worst an invisible orphan attempt/part file remains,
+/// which DROP TABLE and compaction's tombstone sweep clean up.
+class TableOps {
+ public:
+  TableOps(dfs::FileSystem* fs, Catalog* catalog)
+      : fs_(fs), catalog_(catalog) {}
+
+  /// Dispatches a non-query statement; returns rows affected (inserted or
+  /// deleted; 0 for DDL). Statements of kind kQuery are rejected.
+  Result<uint64_t> Execute(const AstStatement& statement);
+
+  Result<uint64_t> CreateTable(const AstCreateTable& create);
+  Result<uint64_t> DropTable(const std::string& table);
+  Result<uint64_t> Insert(const AstInsert& insert);
+  Result<uint64_t> Delete(const AstDelete& del);
+
+ private:
+  dfs::FileSystem* fs_;
+  Catalog* catalog_;
+};
+
+}  // namespace minihive::ql
+
+#endif  // MINIHIVE_QL_TABLE_OPS_H_

@@ -417,6 +417,8 @@ Status RunVectorizedMapPipeline(const exec::OpDesc* scan_root,
   read_options.governor = ctx->governor;
   read_options.use_metadata_cache = ctx->use_metadata_cache;
   read_options.enable_late_materialization = ctx->enable_late_materialization;
+  read_options.delete_bitmap =
+      FindDeleteBitmap(ctx->delete_bitmaps, split.path);
   MINIHIVE_ASSIGN_OR_RETURN(
       std::unique_ptr<orc::OrcReader> reader,
       orc::OrcReader::Open(ctx->fs, split.path, read_options));

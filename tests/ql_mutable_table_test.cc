@@ -1,0 +1,375 @@
+/// Mutable managed tables end-to-end: CREATE TABLE ... PARTITIONED BY,
+/// INSERT INTO visibility across sessions, unique-key upsert, DELETE via
+/// merge-on-read bitmaps (row and vectorized paths byte-identical), the
+/// background compactor's equivalence + tombstone protocol, and fault
+/// sweeps over the insert-commit and compaction paths — a failed commit
+/// must never leave a partially visible table.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/telemetry.h"
+#include "ql/compaction.h"
+#include "ql/driver.h"
+
+namespace minihive::ql {
+namespace {
+
+std::vector<std::string> Canonicalize(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.ToString();
+      line += '|';
+    }
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class MutableTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dfs::FileSystemOptions fs_options;
+    fs_options.block_size = 256 * 1024;
+    fs_ = std::make_unique<dfs::FileSystem>(fs_options);
+    catalog_ = std::make_unique<Catalog>(fs_.get());
+  }
+
+  void TearDown() override { fs_->set_fault_injector(nullptr); }
+
+  DriverOptions Options(bool vectorized) {
+    DriverOptions options;
+    options.num_workers = 2;
+    options.vectorized_execution = vectorized;
+    return options;
+  }
+
+  /// Each call is "another session": a fresh Driver on the shared catalog.
+  QueryResult Exec(const std::string& sql, bool vectorized = false) {
+    Driver driver(fs_.get(), catalog_.get(), Options(vectorized));
+    auto result = driver.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? *result : QueryResult();
+  }
+
+  Result<QueryResult> TryExec(const std::string& sql) {
+    Driver driver(fs_.get(), catalog_.get(), Options(false));
+    return driver.Execute(sql);
+  }
+
+  size_t TableFileCount(const std::string& name) {
+    auto table = catalog_->GetTable(name);
+    EXPECT_TRUE(table.ok());
+    return catalog_->TableFiles(**table).size();
+  }
+
+  std::unique_ptr<dfs::FileSystem> fs_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(MutableTableTest, InsertIsVisibleToOtherSessions) {
+  Exec("CREATE TABLE events (id INT, region STRING, amount DOUBLE) "
+       "PARTITIONED BY (region)");
+  QueryResult insert = Exec(
+      "INSERT INTO events VALUES (1, 'eu', 10.5), (2, 'us', 20.0), "
+      "(3, 'eu', 1.25)");
+  EXPECT_EQ(insert.rows_affected, 3u);
+
+  // A different Driver (session) sees the committed rows immediately.
+  QueryResult select = Exec("SELECT id, region, amount FROM events");
+  EXPECT_EQ(select.rows.size(), 3u);
+
+  // Hive-style directory layout: one file per touched partition.
+  EXPECT_EQ(fs_->List("/warehouse/events/region=eu/part-").size(), 1u);
+  EXPECT_EQ(fs_->List("/warehouse/events/region=us/part-").size(), 1u);
+  // The commit protocol leaves no attempt files behind.
+  EXPECT_TRUE(fs_->List("/warehouse/events/region=eu/attempt-").empty());
+}
+
+TEST_F(MutableTableTest, PartitionPruningSkipsFiles) {
+  Exec("CREATE TABLE sales (id INT, region STRING, amount DOUBLE) "
+       "PARTITIONED BY (region)");
+  Exec("INSERT INTO sales VALUES (1, 'eu', 1.0), (2, 'us', 2.0), "
+       "(3, 'ap', 3.0)");
+  Exec("INSERT INTO sales VALUES (4, 'eu', 4.0), (5, 'us', 5.0)");
+
+  telemetry::Counter* pruned = telemetry::MetricsRegistry::Global().GetCounter(
+      "ql.partition_files_pruned");
+  const uint64_t before = pruned->value();
+  QueryResult result =
+      Exec("SELECT id, amount FROM sales WHERE region = 'eu'");
+  EXPECT_EQ(result.rows.size(), 2u);
+  // Three non-eu files (us x2, ap x1) never reached the splitter.
+  EXPECT_EQ(pruned->value() - before, 3u);
+}
+
+TEST_F(MutableTableTest, UpsertLatestWriteWins) {
+  Exec("CREATE TABLE kv (k INT, v STRING) UNIQUE KEY (k)");
+  Exec("INSERT INTO kv VALUES (1, 'a'), (2, 'b')");
+  Exec("INSERT INTO kv VALUES (1, 'a2')");
+  // Duplicate key inside one statement: the last tuple wins.
+  Exec("INSERT INTO kv VALUES (3, 'x'), (3, 'y')");
+
+  QueryResult result = Exec("SELECT k, v FROM kv");
+  EXPECT_EQ(Canonicalize(result.rows),
+            Canonicalize({{Value::Int(1), Value::String("a2")},
+                          {Value::Int(2), Value::String("b")},
+                          {Value::Int(3), Value::String("y")}}));
+}
+
+TEST_F(MutableTableTest, DeleteRowAndVectorizedAreByteIdentical) {
+  Exec("CREATE TABLE t (k INT, grp INT, amount DOUBLE) UNIQUE KEY (k)");
+  std::string values;
+  for (int i = 0; i < 500; ++i) {
+    if (!values.empty()) values += ", ";
+    values += "(" + std::to_string(i) + ", " + std::to_string(i % 7) + ", " +
+              std::to_string(i) + ".5)";
+  }
+  Exec("INSERT INTO t VALUES " + values);
+  QueryResult del = Exec("DELETE FROM t WHERE k < 100");
+  EXPECT_EQ(del.rows_affected, 100u);
+
+  const std::string sql =
+      "SELECT grp, COUNT(*) AS cnt, SUM(amount) AS total FROM t GROUP BY grp";
+  QueryResult row_mode = Exec(sql, /*vectorized=*/false);
+  QueryResult vec_mode = Exec(sql, /*vectorized=*/true);
+  EXPECT_FALSE(row_mode.rows.empty());
+  EXPECT_EQ(Canonicalize(row_mode.rows), Canonicalize(vec_mode.rows));
+
+  // COUNT(*) must see deletions too — the stats-only answer path has to
+  // stand down while delete debt is outstanding.
+  QueryResult count = Exec("SELECT COUNT(*) AS n FROM t");
+  ASSERT_EQ(count.rows.size(), 1u);
+  EXPECT_EQ(count.rows[0][0].AsInt(), 400);
+}
+
+TEST_F(MutableTableTest, DeleteByUniqueKeyThenReinsert) {
+  Exec("CREATE TABLE kv (k INT, v STRING) UNIQUE KEY (k)");
+  Exec("INSERT INTO kv VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  QueryResult del = Exec("DELETE FROM kv WHERE k = 2");
+  EXPECT_EQ(del.rows_affected, 1u);
+  // The key is free again: re-insert must not upsert a ghost.
+  Exec("INSERT INTO kv VALUES (2, 'b2')");
+  QueryResult result = Exec("SELECT k, v FROM kv");
+  EXPECT_EQ(Canonicalize(result.rows),
+            Canonicalize({{Value::Int(1), Value::String("a")},
+                          {Value::Int(2), Value::String("b2")},
+                          {Value::Int(3), Value::String("c")}}));
+}
+
+TEST_F(MutableTableTest, ConcurrentInsertsFromTwoSessions) {
+  Exec("CREATE TABLE log (id INT, session STRING)");
+  auto insert_many = [this](const std::string& tag, int base) {
+    for (int i = 0; i < 10; ++i) {
+      Driver driver(fs_.get(), catalog_.get(), Options(false));
+      auto r = driver.Execute("INSERT INTO log VALUES (" +
+                              std::to_string(base + i) + ", '" + tag + "')");
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+  };
+  std::thread a([&] { insert_many("a", 0); });
+  std::thread b([&] { insert_many("b", 1000); });
+  a.join();
+  b.join();
+  QueryResult result = Exec("SELECT COUNT(*) AS n FROM log");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsInt(), 20);
+}
+
+TEST_F(MutableTableTest, CompactionPreservesResultsAndShrinksFileCount) {
+  Exec("CREATE TABLE t (k INT, grp INT, amount DOUBLE) UNIQUE KEY (k)");
+  // Many tiny commits -> many small files (the small-file problem).
+  for (int batch = 0; batch < 8; ++batch) {
+    std::string values;
+    for (int i = 0; i < 50; ++i) {
+      const int k = batch * 50 + i;
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(k) + ", " + std::to_string(k % 5) +
+                ", " + std::to_string(k) + ".25)";
+    }
+    Exec("INSERT INTO t VALUES " + values);
+  }
+  Exec("DELETE FROM t WHERE k < 40");
+  const std::string sql =
+      "SELECT grp, COUNT(*) AS cnt, SUM(amount) AS total FROM t GROUP BY grp";
+  const std::vector<std::string> golden = Canonicalize(Exec(sql).rows);
+  const size_t files_before = TableFileCount("t");
+  ASSERT_EQ(files_before, 8u);
+
+  CompactionOptions copts;
+  copts.small_file_bytes = 16 * 1024 * 1024;  // Everything here is small.
+  CompactionManager compactor(fs_.get(), catalog_.get(), copts);
+  uint64_t tasks = 0;
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    auto stats = compactor.RunOnce();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    tasks += stats->tasks_run;
+    if (stats->tasks_run == 0) break;
+    // Every intermediate state must answer identically.
+    EXPECT_EQ(Canonicalize(Exec(sql).rows), golden);
+  }
+  EXPECT_GT(tasks, 0u);
+  EXPECT_LT(TableFileCount("t"), files_before);
+  EXPECT_EQ(Canonicalize(Exec(sql).rows), golden);
+  // Vectorized agreement survives compaction as well.
+  EXPECT_EQ(Canonicalize(Exec(sql, /*vectorized=*/true).rows), golden);
+
+  // Replaced files are tombstoned one sweep, then physically deleted.
+  auto final_sweep = compactor.RunOnce();
+  ASSERT_TRUE(final_sweep.ok());
+  auto table = catalog_->GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->state->tombstones.empty());
+  // Upsert after compaction still finds the rewritten row's new location.
+  Exec("INSERT INTO t VALUES (100, 0, 0.0)");
+  QueryResult count = Exec("SELECT COUNT(*) AS n FROM t");
+  ASSERT_EQ(count.rows.size(), 1u);
+  EXPECT_EQ(count.rows[0][0].AsInt(), 360);  // 400 - 40 deleted, 100 upserted.
+}
+
+TEST_F(MutableTableTest, InsertCommitFaultSweepNeverPartiallyVisible) {
+  Exec("CREATE TABLE mut (id INT, grp INT) PARTITIONED BY (grp)");
+  int64_t committed = 0;
+  int typed_failures = 0;
+  uint64_t injected = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    FaultConfig config;
+    config.seed = static_cast<uint64_t>(seed) * 104729 + 13;
+    config.open_error_probability = 0.05;
+    config.append_error_probability = 0.02;
+    config.close_error_probability = 0.05;
+    config.path_filter = "/warehouse/mut";
+    FaultInjector injector(config);
+    fs_->set_fault_injector(&injector);
+    auto result = TryExec("INSERT INTO mut VALUES (" + std::to_string(seed) +
+                          ", 0), (" + std::to_string(seed + 1000) + ", 1)");
+    fs_->set_fault_injector(nullptr);
+    injected += injector.stats().total();
+    if (result.ok()) {
+      committed += 2;
+    } else {
+      EXPECT_TRUE(result.status().IsIoError())
+          << "seed " << seed << ": " << result.status().ToString();
+      ++typed_failures;
+    }
+    // Atomicity: the table must hold exactly the committed rows — a failed
+    // statement contributes nothing, from any session, on either path.
+    QueryResult count = Exec("SELECT COUNT(*) AS n FROM mut");
+    ASSERT_EQ(count.rows.size(), 1u);
+    ASSERT_EQ(count.rows[0][0].AsInt(), committed) << "seed " << seed;
+  }
+  EXPECT_GT(injected, 0u) << "injector never fired; sweep is vacuous";
+  EXPECT_GT(typed_failures, 0) << "no commit ever failed; sweep is vacuous";
+  EXPECT_GT(committed, 0) << "every commit failed";
+}
+
+TEST_F(MutableTableTest, MidCompactionCrashLeavesSnapshotUntouched) {
+  Exec("CREATE TABLE t (k INT, v DOUBLE) UNIQUE KEY (k)");
+  for (int batch = 0; batch < 4; ++batch) {
+    std::string values;
+    for (int i = 0; i < 25; ++i) {
+      const int k = batch * 25 + i;
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(k) + ", " + std::to_string(k) + ".5)";
+    }
+    Exec("INSERT INTO t VALUES " + values);
+  }
+  Exec("DELETE FROM t WHERE k < 10");
+  const std::string sql = "SELECT k, v FROM t";
+  const std::vector<std::string> golden = Canonicalize(Exec(sql).rows);
+  const size_t files_before = TableFileCount("t");
+
+  CompactionOptions copts;
+  copts.small_file_bytes = 16 * 1024 * 1024;
+  CompactionManager compactor(fs_.get(), catalog_.get(), copts);
+  int crashed = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    FaultConfig config;
+    config.seed = static_cast<uint64_t>(seed) * 31 + 7;
+    config.append_error_probability = 0.02;
+    config.close_error_probability = 0.2;
+    config.path_filter = "/warehouse/t";
+    FaultInjector injector(config);
+    fs_->set_fault_injector(&injector);
+    auto stats = compactor.RunOnce();
+    fs_->set_fault_injector(nullptr);
+    if (!stats.ok()) {
+      ++crashed;
+      // The failed rewrite must not have touched the manifest: same files,
+      // same rows, on both execution paths.
+      EXPECT_EQ(TableFileCount("t"), files_before) << "seed " << seed;
+      EXPECT_EQ(Canonicalize(Exec(sql).rows), golden) << "seed " << seed;
+      EXPECT_EQ(Canonicalize(Exec(sql, /*vectorized=*/true).rows), golden);
+    }
+  }
+  EXPECT_GT(crashed, 0) << "no sweep ever hit a fault; test is vacuous";
+
+  // Fault-free sweeps finish the job; results are unchanged.
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    auto stats = compactor.RunOnce();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats->tasks_run == 0) break;
+  }
+  EXPECT_LT(TableFileCount("t"), files_before);
+  EXPECT_EQ(Canonicalize(Exec(sql).rows), golden);
+}
+
+TEST_F(MutableTableTest, BackgroundCompactionThread) {
+  Exec("CREATE TABLE t (k INT, v DOUBLE)");
+  for (int batch = 0; batch < 6; ++batch) {
+    Exec("INSERT INTO t VALUES (" + std::to_string(batch) + ", 1.5), (" +
+         std::to_string(batch + 100) + ", 2.5)");
+  }
+  const std::string sql = "SELECT COUNT(*) AS n, SUM(v) AS s FROM t";
+  const std::vector<std::string> golden = Canonicalize(Exec(sql).rows);
+
+  CompactionOptions copts;
+  copts.small_file_bytes = 16 * 1024 * 1024;
+  copts.interval_millis = 5;
+  CompactionManager compactor(fs_.get(), catalog_.get(), copts);
+  compactor.Start();
+  // Wait (bounded) until the background sweeps have merged the table.
+  for (int i = 0; i < 200 && TableFileCount("t") > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  compactor.Stop();
+  EXPECT_LT(TableFileCount("t"), 6u);
+  EXPECT_GT(compactor.totals().tasks_run, 0u);
+  EXPECT_EQ(Canonicalize(Exec(sql).rows), golden);
+}
+
+TEST_F(MutableTableTest, DropTableRemovesEverything) {
+  Exec("CREATE TABLE tmp (k INT, grp STRING) PARTITIONED BY (grp)");
+  Exec("INSERT INTO tmp VALUES (1, 'a'), (2, 'b')");
+  Exec("DELETE FROM tmp WHERE k = 1");
+  Exec("DROP TABLE tmp");
+  EXPECT_FALSE(catalog_->HasTable("tmp"));
+  EXPECT_TRUE(fs_->List("/warehouse/tmp/").empty());
+}
+
+TEST_F(MutableTableTest, StatementErrorsAreTyped) {
+  EXPECT_FALSE(TryExec("INSERT INTO nosuch VALUES (1)").ok());
+  Exec("CREATE TABLE t (k INT) ");
+  EXPECT_FALSE(TryExec("CREATE TABLE t (k INT)").ok());  // Duplicate.
+  EXPECT_FALSE(TryExec("INSERT INTO t VALUES (1, 2)").ok());  // Arity.
+  EXPECT_FALSE(TryExec("INSERT INTO t VALUES ('x')").ok());  // Type.
+  // Partition and unique-key columns must exist.
+  EXPECT_FALSE(
+      TryExec("CREATE TABLE bad (k INT) PARTITIONED BY (nope)").ok());
+  EXPECT_FALSE(TryExec("CREATE TABLE bad (k INT) UNIQUE KEY (nope)").ok());
+  // DML over unmanaged tables is rejected (no manifest to commit into).
+  EXPECT_FALSE(TryExec("DELETE FROM nosuch").ok());
+}
+
+}  // namespace
+}  // namespace minihive::ql
