@@ -135,7 +135,7 @@ int Main() {
     CheckResult(driver.Execute(Q1("orc_lineitem")), "rescan cold");
     rescan_cold_ms = watch.ElapsedMillis();
 
-    cache::CacheManager* caches = fs.cache_manager();
+    std::shared_ptr<cache::CacheManager> caches = fs.cache_manager();
     cache::Cache::StatsSnapshot block_before = caches->block_cache()->stats();
     cache::Cache::StatsSnapshot meta_before = caches->metadata_cache()->stats();
     uint64_t cached_before = fs.stats().bytes_read_cached.load();

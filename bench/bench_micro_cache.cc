@@ -87,9 +87,9 @@ ReadAtResult BenchReadAt(bench::BenchReporter* reporter) {
   // cacheable and the warm pass is fully served from memory.
   fs_options.block_size = 256 * 1024;
   dfs::FileSystem fs(fs_options);
-  cache::CacheManager caches(/*block_cache_bytes=*/4 * kFileBytes,
+  auto caches = std::make_shared<cache::CacheManager>(/*block_cache_bytes=*/4 * kFileBytes,
                              /*metadata_cache_bytes=*/0);
-  fs.set_cache_manager(&caches);
+  fs.set_cache_manager(caches);
 
   auto writer = CheckResult(fs.Create("/bench/blob"), "create");
   std::string chunk(kChunk, 'b');
@@ -118,7 +118,7 @@ ReadAtResult BenchReadAt(bench::BenchReporter* reporter) {
       fs.stats().bytes_read_cached.load() - r.cold_cached_bytes;
 
   reporter->AddMetric("readat.block_cache_hits",
-                      static_cast<double>(caches.block_cache()->stats().hits),
+                      static_cast<double>(caches->block_cache()->stats().hits),
                       "count");
   fs.set_cache_manager(nullptr);
   return r;
@@ -135,9 +135,9 @@ ReopenResult BenchOrcReopen() {
   const int kRows = bench::SmokeScaled(200000, 20000);
   const int kReopens = 20;
   dfs::FileSystem fs;
-  cache::CacheManager caches(/*block_cache_bytes=*/0,
+  auto caches = std::make_shared<cache::CacheManager>(/*block_cache_bytes=*/0,
                              /*metadata_cache_bytes=*/16 << 20);
-  fs.set_cache_manager(&caches);
+  fs.set_cache_manager(caches);
 
   TypePtr schema = CheckResult(
       TypeDescription::Parse("struct<k:bigint,v:string,x:double>"), "schema");
@@ -167,8 +167,8 @@ ReopenResult BenchOrcReopen() {
     }
   }
   r.warm_open_ms = watch.ElapsedMillis() / kReopens;
-  r.meta_hits = caches.metadata_cache()->stats().hits;
-  r.meta_misses = caches.metadata_cache()->stats().misses;
+  r.meta_hits = caches->metadata_cache()->stats().hits;
+  r.meta_misses = caches->metadata_cache()->stats().misses;
   fs.set_cache_manager(nullptr);
   return r;
 }

@@ -79,9 +79,25 @@ Result<DeleteBitmap> DeleteBitmap::Decode(std::string_view data) {
   DeleteBitmap bitmap;
   bitmap.num_rows_ = GetU64(data.data() + 5);
   bitmap.deleted_count_ = GetU64(data.data() + 13);
-  size_t num_words = (bitmap.num_rows_ + 63) / 64;
-  if (data.size() != kHeader + num_words * 8 + 4) {
+  // Derive the word count from the buffer, never from num_rows: computing
+  // (num_rows + 63) / 64 on a hostile num_rows near UINT64_MAX wraps to ~0,
+  // which would let the length check pass with an empty words_ vector while
+  // num_rows_ stays huge — and a later IsDeleted(ordinal < num_rows_) would
+  // index out of bounds. It would also allocate unboundedly before any
+  // plausibility check. Requiring num_rows to land exactly in the buffer's
+  // word count performs the same check in non-overflowing arithmetic.
+  const size_t payload = data.size() - kHeader - 4;
+  if (payload % 8 != 0) {
     return Status::Corruption("delete bitmap sidecar: length mismatch");
+  }
+  const size_t num_words = payload / 8;
+  const uint64_t max_rows = static_cast<uint64_t>(num_words) * 64;
+  const uint64_t min_rows = num_words == 0 ? 0 : max_rows - 63;
+  if (bitmap.num_rows_ < min_rows || bitmap.num_rows_ > max_rows) {
+    return Status::Corruption("delete bitmap sidecar: length mismatch");
+  }
+  if (bitmap.deleted_count_ > bitmap.num_rows_) {
+    return Status::Corruption("delete bitmap sidecar: count mismatch");
   }
   bitmap.words_.resize(num_words);
   uint64_t popcount = 0;

@@ -55,7 +55,7 @@ SessionManager::SessionManager(const SessionManagerOptions& options)
   } else {
     cache_budget_ = std::make_unique<MemoryBudget>("caches", cache_bytes);
   }
-  cache_manager_ = std::make_unique<cache::CacheManager>(
+  cache_manager_ = std::make_shared<cache::CacheManager>(
       options_.block_cache_bytes, options_.metadata_cache_bytes);
   SchedulerOptions sched;
   sched.num_workers = options_.num_workers;

@@ -137,6 +137,12 @@ class SessionManager {
 
   TaskScheduler* scheduler() { return scheduler_.get(); }
   cache::CacheManager* cache_manager() { return cache_manager_.get(); }
+  /// Shared handle for installing into a FileSystem — readers pin it, so
+  /// the caches outlive any in-flight scan even if the manager dies first
+  /// (FileSystem::set_cache_manager's ownership contract).
+  std::shared_ptr<cache::CacheManager> shared_cache_manager() {
+    return cache_manager_;
+  }
   /// Shared dispatch-worker liveness/blacklist tracker; null unless
   /// `options.workers.num_workers > 0`. Drivers attached to a session of
   /// this manager route their dispatches through it instead of creating a
@@ -159,7 +165,7 @@ class SessionManager {
   // Cache budgets are committed against the root for the manager's
   // lifetime, so admission maths sees the caches' worst case.
   std::unique_ptr<MemoryBudget> cache_budget_;
-  std::unique_ptr<cache::CacheManager> cache_manager_;
+  std::shared_ptr<cache::CacheManager> cache_manager_;
   std::unique_ptr<TaskScheduler> scheduler_;
   std::unique_ptr<WorkerManager> worker_manager_;
 

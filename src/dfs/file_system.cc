@@ -95,10 +95,11 @@ class ReadableFileImpl : public ReadableFile {
       MINIHIVE_RETURN_IF_ERROR(faults->MaybeError(FaultSite::kRead, path_));
     }
 
-    cache::Cache* bcache = nullptr;
-    if (cache::CacheManager* manager = fs_->cache_manager()) {
-      bcache = manager->block_cache();
-    }
+    // Pinned for the whole read: the owning session may be torn down
+    // concurrently, and bcache must stay valid until the last use below.
+    std::shared_ptr<cache::CacheManager> cache_pin = fs_->cache_manager();
+    cache::Cache* bcache =
+        cache_pin != nullptr ? cache_pin->block_cache() : nullptr;
 
     // Blocks the requested range covers whose bytes had to come from
     // backing storage; candidates for (whole-block) population below.

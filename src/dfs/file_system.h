@@ -147,16 +147,22 @@ class FileSystem {
     return fault_injector_.load(std::memory_order_acquire);
   }
 
-  /// Installs (or clears, with nullptr) the session cache manager, same
-  /// ownership contract as the fault injector: not owned, must outlive its
-  /// installation, nullptr keeps caching entirely off the hot path. The
-  /// block cache intercepts ReadAt; the metadata cache is picked up by ORC
-  /// readers opened on this filesystem.
-  void set_cache_manager(cache::CacheManager* manager) {
-    cache_manager_.store(manager, std::memory_order_release);
+  /// Installs (or clears, with nullptr) the session cache manager. Shared
+  /// ownership, unlike the fault injector: in-flight reads and long-lived
+  /// ORC readers pin the manager they captured, so replacing or clearing
+  /// the installation never destroys a manager out from under a concurrent
+  /// user — the last pin does. (Sessions come and go per Driver while
+  /// background work reads through the same filesystem; a raw pointer here
+  /// is a use-after-free waiting for that overlap.) nullptr keeps caching
+  /// entirely off the hot path. The block cache intercepts ReadAt; the
+  /// metadata cache is picked up by ORC readers opened on this filesystem.
+  void set_cache_manager(std::shared_ptr<cache::CacheManager> manager) {
+    std::lock_guard<std::mutex> lock(cache_manager_mu_);
+    cache_manager_ = std::move(manager);
   }
-  cache::CacheManager* cache_manager() const {
-    return cache_manager_.load(std::memory_order_acquire);
+  std::shared_ptr<cache::CacheManager> cache_manager() const {
+    std::lock_guard<std::mutex> lock(cache_manager_mu_);
+    return cache_manager_;
   }
 
   /// Current write-generation of a path (0 if never written). Bumped by
@@ -181,7 +187,8 @@ class FileSystem {
   FileSystemOptions options_;
   IoStats stats_;
   std::atomic<FaultInjector*> fault_injector_{nullptr};
-  std::atomic<cache::CacheManager*> cache_manager_{nullptr};
+  mutable std::mutex cache_manager_mu_;
+  std::shared_ptr<cache::CacheManager> cache_manager_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<FileData>> files_;
   // Per-path write counters (guarded by mutex_); entries are never removed,

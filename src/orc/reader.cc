@@ -388,8 +388,11 @@ class OrcReader::Impl {
         options_(std::move(options)),
         generation_(file_->Generation()) {
     if (options_.use_metadata_cache) {
-      if (cache::CacheManager* manager = fs_->cache_manager()) {
-        mcache_ = manager->metadata_cache();
+      // Pin the manager for the reader's lifetime: the installing session
+      // can be destroyed while this reader still inserts/looks up.
+      cache_manager_ = fs_->cache_manager();
+      if (cache_manager_ != nullptr) {
+        mcache_ = cache_manager_->metadata_cache();
       }
     }
   }
@@ -1341,6 +1344,7 @@ class OrcReader::Impl {
   // cache key. The cache pointer is null when the session has none or the
   // options turned it off; all cache logic hides behind that test.
   uint64_t generation_ = 0;
+  std::shared_ptr<cache::CacheManager> cache_manager_;  // Keeps mcache_ alive.
   cache::Cache* mcache_ = nullptr;
   bool tail_cache_hit_ = false;
   // Pins for the currently-used cached objects (tail for the reader's whole

@@ -69,15 +69,39 @@ Status Catalog::CreateManagedTable(const std::string& name, TypePtr schema,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
-  // Delete by directory listing, not the manifest: a managed table may
-  // also own compaction tombstones and delete-bitmap sidecars.
-  for (const std::string& path : fs_->List(it->second.path_prefix + "/")) {
-    MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+  std::shared_ptr<ManagedTableState> state;
+  std::string path_prefix;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+    state = it->second.state;
+    path_prefix = it->second.path_prefix;
   }
-  tables_.erase(it);
+  // Managed tables: mark dropped and delete files under write_mu, so an
+  // in-flight INSERT / DELETE / compaction finishes its commit before the
+  // files disappear, and any writer queued behind us observes `dropped`
+  // and abandons its statement instead of writing into a dead directory.
+  // mu_ is not held across this block; writers only ever take mu_ before
+  // write_mu, so the mu_ -> write_mu order stays acyclic.
+  if (state != nullptr) {
+    std::lock_guard<std::mutex> write_lock(state->write_mu);
+    if (state->dropped) return Status::NotFound("no such table: " + name);
+    state->dropped = true;
+    state->tombstones.clear();
+    state->key_index.clear();
+    // Delete by directory listing, not the manifest: a managed table may
+    // also own compaction tombstones and delete-bitmap sidecars.
+    for (const std::string& path : fs_->List(path_prefix + "/")) {
+      MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+    }
+  } else {
+    for (const std::string& path : fs_->List(path_prefix + "/")) {
+      MINIHIVE_RETURN_IF_ERROR(fs_->Delete(path));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
   return Status::OK();
 }
 
@@ -86,6 +110,13 @@ Result<const TableDesc*> Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   return &it->second;
+}
+
+Result<TableDesc> Catalog::GetTableCopy(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
 }
 
 std::vector<std::string> Catalog::ManagedTableNames() const {

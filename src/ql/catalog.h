@@ -86,6 +86,11 @@ struct ManagedTableState {
   /// deferred one compaction cycle so queries that captured the previous
   /// snapshot finish their scans first.
   std::vector<std::string> tombstones;
+  /// Set by Catalog::DropTable (under write_mu) before it deletes the
+  /// table's files. A writer that captured the table before the drop must
+  /// re-check this after acquiring write_mu and abandon its statement —
+  /// its files are gone and nothing it publishes can ever be read.
+  bool dropped = false;
 };
 
 /// Metadata for one table: schema, storage format, and the DFS directory
@@ -133,9 +138,17 @@ struct TableDesc {
 
 /// The metastore: name -> table metadata. Thread-safe: concurrent drivers
 /// resolve tables while another session creates new ones (std::map nodes
-/// are stable, so a returned TableDesc* survives unrelated DDL). Dropping
-/// a table while queries still read it remains the caller's race to avoid,
-/// as in any metastore.
+/// are stable, so a returned TableDesc* survives unrelated DDL).
+///
+/// DROP TABLE vs concurrent work: anything that runs long against a table
+/// (INSERT / DELETE / compaction) must hold a GetTableCopy() value — the
+/// copy shares the ManagedTableState via shared_ptr, so the state (and its
+/// write_mu) outlives a concurrent drop — and must re-check state->dropped
+/// after acquiring write_mu. DropTable deletes the table's files under
+/// write_mu, so it can never pull files out from under a writer mid-commit.
+/// Dropping a table while *queries* still read it remains the caller's race
+/// to avoid, as in any metastore (a scan that loses it gets a typed
+/// NotFound/IoError, not UB: snapshots and file data are shared_ptr-held).
 class Catalog {
  public:
   explicit Catalog(dfs::FileSystem* fs) : fs_(fs) {}
@@ -160,6 +173,12 @@ class Catalog {
   Status DropTable(const std::string& name);
 
   Result<const TableDesc*> GetTable(const std::string& name) const;
+  /// Copy of the table's metadata, for use across a long operation. The
+  /// copy shares the ManagedTableState (and schema) via shared_ptr, so it
+  /// stays valid even if the table is concurrently dropped — a raw
+  /// GetTable() pointer would dangle the moment DropTable erases the map
+  /// entry. Writers must still re-check state->dropped under write_mu.
+  Result<TableDesc> GetTableCopy(const std::string& name) const;
   bool HasTable(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mu_);
     return tables_.count(name) > 0;

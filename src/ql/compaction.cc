@@ -111,8 +111,11 @@ Candidate SelectCandidate(const TableDesc& table, const TableSnapshot& snapshot,
 }
 
 std::string SeqString(uint64_t seq) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%06llu",
+  // Wide enough for any uint64_t, so lexicographic listing order equals
+  // commit order for the table's whole lifetime (6 digits would silently
+  // break the invariant at sequence 1000000).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
                 static_cast<unsigned long long>(seq));
   return buf;
 }
@@ -191,7 +194,11 @@ Result<CompactionStats> CompactionManager::RunOnce() {
   sweep.sweeps = 1;
   Status first_error = Status::OK();
   for (const std::string& name : catalog_->ManagedTableNames()) {
-    auto table = catalog_->GetTable(name);
+    // A copy, not a pointer: the copy shares the ManagedTableState via
+    // shared_ptr, so a concurrent DROP TABLE cannot free the descriptor
+    // (or the state) out from under the long rewrite below. CompactTable
+    // re-checks state->dropped under write_mu.
+    auto table = catalog_->GetTableCopy(name);
     if (!table.ok()) continue;  // Dropped since listing.
 
     // Yield memory to queries: no reservation, no rewrite this sweep.
@@ -207,10 +214,10 @@ Result<CompactionStats> CompactionManager::RunOnce() {
       // Low-priority lane of the shared pool: a foreground query's tasks
       // are always served first.
       s = scheduler_->RunParallel(queue_, 1, [&](int) {
-        return CompactTable(**table, &sweep);
+        return CompactTable(*table, &sweep);
       });
     } else {
-      s = CompactTable(**table, &sweep);
+      s = CompactTable(*table, &sweep);
     }
     if (!s.ok()) {
       ++sweep.failures;
@@ -229,6 +236,9 @@ Status CompactionManager::CompactTable(const TableDesc& table,
                                        CompactionStats* stats) {
   ManagedTableState* state = table.state.get();
   std::lock_guard<std::mutex> lock(state->write_mu);
+  // Lost the race with DROP TABLE: the files are gone and nothing we could
+  // publish would ever be read. (Our TableDesc copy keeps `state` alive.)
+  if (state->dropped) return Status::OK();
 
   // Phase 0: the previous sweep's tombstones are now one full snapshot
   // generation old — queries planned against the pre-compaction manifest
@@ -238,6 +248,7 @@ Status CompactionManager::CompactTable(const TableDesc& table,
   for (const std::string& path : tombstones) {
     fs_->Delete(path).ok();
     fs_->Delete(path + ".del").ok();
+    fs_->Delete(path + ".del.attempt").ok();  // Crashed statement leftover.
     ++stats->tombstones_deleted;
   }
 
@@ -253,7 +264,14 @@ Status CompactionManager::CompactTable(const TableDesc& table,
   const std::string dir_path =
       dir.empty() ? table.path_prefix : table.path_prefix + "/" + dir;
   const std::string attempt_path = dir_path + "/attempt-" + SeqString(seq);
-  const std::string final_path = dir_path + "/part-" + SeqString(seq);
+  // The merged file's name records the consecutive sequence run it
+  // replaces ("part-<seq>.r<first>-<last>"): cold-start recovery uses the
+  // range to drop superseded files, making the Rename below an atomic,
+  // recoverable commit of the whole swap (TABLE_FORMAT.md).
+  const std::string final_path =
+      dir_path + "/part-" + SeqString(seq) + ".r" +
+      SeqString(candidate.files.front()->sequence) + "-" +
+      SeqString(candidate.files.back()->sequence);
 
   const int key_idx =
       table.unique_key.empty() ? -1 : table.FieldIndex(table.unique_key);

@@ -75,14 +75,14 @@ Driver::Driver(dfs::FileSystem* fs, Catalog* catalog, DriverOptions options)
     : fs_(fs), catalog_(catalog), options_(options) {
   if (options_.session != nullptr) {
     // Session mode: every driver on the manager shares one CacheManager.
-    // Installing the same pointer is idempotent across drivers; it stays
+    // Installing the same handle is idempotent across drivers; it stays
     // installed for the manager's lifetime (the manager outlives us).
-    fs_->set_cache_manager(options_.session->manager()->cache_manager());
+    fs_->set_cache_manager(options_.session->manager()->shared_cache_manager());
   } else if (options_.block_cache_bytes > 0 ||
              options_.metadata_cache_bytes > 0) {
-    caches_ = std::make_unique<cache::CacheManager>(
+    caches_ = std::make_shared<cache::CacheManager>(
         options_.block_cache_bytes, options_.metadata_cache_bytes);
-    fs_->set_cache_manager(caches_.get());
+    fs_->set_cache_manager(caches_);
   }
   if (options_.workers.num_workers > 0) {
     if (options_.workers.simulate_remote) {
@@ -126,7 +126,10 @@ Driver::~Driver() {
   if (started_monitor_) worker_manager_->StopMonitor();
   // Uninstall only if still the installed manager — a later Driver on the
   // same filesystem may have replaced us (last-wins, like fault injectors).
-  if (caches_ != nullptr && fs_->cache_manager() == caches_.get()) {
+  // Concurrent users that captured the handle keep it alive past us: the
+  // installation is shared_ptr-based precisely so this destructor cannot
+  // pull the caches out from under an in-flight read.
+  if (caches_ != nullptr && fs_->cache_manager() == caches_) {
     fs_->set_cache_manager(nullptr);
   }
 }

@@ -203,7 +203,7 @@ class Driver {
   /// driver's lifetime. Installation is last-wins like the fault injector:
   /// with several Drivers on one filesystem the most recent construction's
   /// caches serve everyone, and the destructor only uninstalls itself.
-  std::unique_ptr<cache::CacheManager> caches_;
+  std::shared_ptr<cache::CacheManager> caches_;
   /// Dispatch layer (workers.num_workers > 0 only). Destruction order
   /// matters: the coordinator references manager and transport, and the
   /// monitor probe references the transport — ~Driver stops the monitor

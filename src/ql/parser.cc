@@ -31,13 +31,14 @@ const char* kKeywords[] = {
     "LIMIT",  "JOIN",    "ON",     "AS",     "AND",    "OR",
     "NOT",    "BETWEEN", "IN",     "IS",     "NULL",   "TRUE",
     "FALSE",  "ASC",     "DESC",   "LEFT",   "OUTER",  "INNER",
-    "SUM",    "COUNT",   "AVG",    "MIN",    "MAX",    "DISTINCT",
-    "CREATE", "TABLE",   "PARTITIONED",      "UNIQUE",
-    "STORED", "INSERT",  "INTO",   "VALUES", "DELETE", "DROP"};
-// "KEY" is deliberately NOT a keyword: it only ever appears right after
-// UNIQUE (matched contextually there), and datasets commonly name a
-// column `key` — reserving it would uppercase those references and break
-// name resolution.
+    "SUM",    "COUNT",   "AVG",    "MIN",    "MAX",    "DISTINCT"};
+// The statement words — CREATE, TABLE, PARTITIONED, UNIQUE, KEY, STORED,
+// INSERT, INTO, VALUES, DELETE, DROP — are deliberately NOT keywords.
+// They only ever appear at fixed positions in the DDL/DML grammar, where
+// Parser::PeekWord / ConsumeWord match them contextually; reserving them
+// would break SELECTs over datasets with columns named `key`, `values`,
+// `insert`, and so on (the lexer would uppercase those references and
+// name resolution would miss).
 
 bool IsKeyword(const std::string& upper) {
   for (const char* kw : kKeywords) {
@@ -194,18 +195,18 @@ class Parser {
 
   Result<AstStatementPtr> ParseOneStatement() {
     auto stmt = std::make_shared<AstStatement>();
-    if (PeekKeyword("CREATE")) {
+    if (PeekWord("CREATE")) {
       stmt->kind = AstStatementKind::kCreateTable;
       MINIHIVE_ASSIGN_OR_RETURN(stmt->create, ParseCreateTable());
-    } else if (PeekKeyword("DROP")) {
+    } else if (PeekWord("DROP")) {
       Advance();
-      if (!ConsumeKeyword("TABLE")) return Error("expected TABLE after DROP");
+      if (!ConsumeWord("TABLE")) return Error("expected TABLE after DROP");
       stmt->kind = AstStatementKind::kDropTable;
       MINIHIVE_ASSIGN_OR_RETURN(stmt->drop_table, ParseName("table name"));
-    } else if (PeekKeyword("INSERT")) {
+    } else if (PeekWord("INSERT")) {
       stmt->kind = AstStatementKind::kInsert;
       MINIHIVE_ASSIGN_OR_RETURN(stmt->insert, ParseInsert());
-    } else if (PeekKeyword("DELETE")) {
+    } else if (PeekWord("DELETE")) {
       stmt->kind = AstStatementKind::kDelete;
       MINIHIVE_ASSIGN_OR_RETURN(stmt->delete_stmt, ParseDelete());
     } else {
@@ -235,6 +236,29 @@ class Parser {
 
   bool ConsumeKeyword(const std::string& kw) {
     if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  /// Contextual statement words (CREATE, INTO, VALUES, ...) reach the
+  /// parser as plain identifiers — see the kKeywords comment. These match
+  /// them case-insensitively at the grammar positions that require them.
+  /// `word` must be given in uppercase.
+  bool PeekWord(const char* word, int ahead = 0) const {
+    const Token& t = Peek(ahead);
+    if (t.kind != TokenKind::kIdent) return false;
+    for (size_t i = 0;; ++i) {
+      if (word[i] == '\0') return i == t.text.size();
+      if (i >= t.text.size()) return false;
+      if (std::toupper(static_cast<unsigned char>(t.text[i])) != word[i]) {
+        return false;
+      }
+    }
+  }
+  bool ConsumeWord(const char* word) {
+    if (PeekWord(word)) {
       Advance();
       return true;
     }
@@ -350,7 +374,7 @@ class Parser {
 
   Result<std::shared_ptr<AstCreateTable>> ParseCreateTable() {
     Advance();  // CREATE
-    if (!ConsumeKeyword("TABLE")) return Error("expected TABLE after CREATE");
+    if (!ConsumeWord("TABLE")) return Error("expected TABLE after CREATE");
     auto create = std::make_shared<AstCreateTable>();
     MINIHIVE_ASSIGN_OR_RETURN(create->table, ParseName("table name"));
     if (!ConsumeSymbol("(")) return Error("expected '(' after table name");
@@ -364,26 +388,19 @@ class Parser {
     } while (ConsumeSymbol(","));
     if (!ConsumeSymbol(")")) return Error("expected ')' after column list");
     while (true) {
-      if (ConsumeKeyword("PARTITIONED")) {
+      if (ConsumeWord("PARTITIONED")) {
         if (!ConsumeKeyword("BY")) return Error("expected BY");
         MINIHIVE_ASSIGN_OR_RETURN(create->partition_cols,
                                   ParseNameList("partition columns"));
-      } else if (ConsumeKeyword("UNIQUE")) {
-        // Contextual: "KEY" is an ordinary identifier elsewhere.
-        std::string word;
-        if (Peek().kind == TokenKind::kIdent) {
-          word = Peek().text;
-          std::transform(word.begin(), word.end(), word.begin(), ::toupper);
-        }
-        if (word != "KEY") return Error("expected KEY after UNIQUE");
-        Advance();
+      } else if (ConsumeWord("UNIQUE")) {
+        if (!ConsumeWord("KEY")) return Error("expected KEY after UNIQUE");
         MINIHIVE_ASSIGN_OR_RETURN(std::vector<std::string> keys,
                                   ParseNameList("unique key column"));
         if (keys.size() != 1) {
           return Error("UNIQUE KEY takes exactly one column");
         }
         create->unique_key = keys[0];
-      } else if (ConsumeKeyword("STORED")) {
+      } else if (ConsumeWord("STORED")) {
         if (!ConsumeKeyword("AS")) return Error("expected AS after STORED");
         MINIHIVE_ASSIGN_OR_RETURN(std::string fmt, ParseName("format name"));
         std::transform(fmt.begin(), fmt.end(), fmt.begin(), ::toupper);
@@ -399,10 +416,10 @@ class Parser {
 
   Result<std::shared_ptr<AstInsert>> ParseInsert() {
     Advance();  // INSERT
-    if (!ConsumeKeyword("INTO")) return Error("expected INTO after INSERT");
+    if (!ConsumeWord("INTO")) return Error("expected INTO after INSERT");
     auto insert = std::make_shared<AstInsert>();
     MINIHIVE_ASSIGN_OR_RETURN(insert->table, ParseName("table name"));
-    if (!ConsumeKeyword("VALUES")) return Error("expected VALUES");
+    if (!ConsumeWord("VALUES")) return Error("expected VALUES");
     do {
       if (!ConsumeSymbol("(")) return Error("expected '(' before row values");
       std::vector<AstExprPtr> row;

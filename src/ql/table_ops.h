@@ -49,6 +49,19 @@ class TableOps {
   Result<uint64_t> Insert(const AstInsert& insert);
   Result<uint64_t> Delete(const AstDelete& del);
 
+  /// Cold-start recovery: rebuilds a managed table's snapshot manifest from
+  /// its on-disk files. Lists the table's directory, adopts committed
+  /// `part-*` data files (dropping files superseded by a compaction
+  /// output's `.r<first>-<last>` replace range, and deleting orphan
+  /// `attempt-*` / `.del.attempt` files), decodes each `.del` sidecar back
+  /// into the file's delete bitmap, re-derives partition values and the
+  /// unique-key index by reading the files in commit order, and publishes
+  /// the result as the next snapshot. Catalog metadata itself is not
+  /// durable: the caller re-issues CREATE TABLE first, then calls this.
+  /// Returns the number of data files adopted. See docs/TABLE_FORMAT.md
+  /// for what recovery can and cannot promise.
+  Result<uint64_t> RecoverTable(const std::string& name);
+
  private:
   dfs::FileSystem* fs_;
   Catalog* catalog_;

@@ -52,9 +52,9 @@ ScanResult Scan(dfs::FileSystem* fs, const std::string& path) {
 
 TEST(CacheInvalidationTest, RewrittenFileNeverServedStale) {
   dfs::FileSystem fs;
-  cache::CacheManager caches(/*block_cache_bytes=*/4 << 20,
+  auto caches = std::make_shared<cache::CacheManager>(/*block_cache_bytes=*/4 << 20,
                              /*metadata_cache_bytes=*/1 << 20);
-  fs.set_cache_manager(&caches);
+  fs.set_cache_manager(caches);
 
   WriteOrc(&fs, "/t/data", 1000, "old");
 
@@ -70,7 +70,7 @@ TEST(CacheInvalidationTest, RewrittenFileNeverServedStale) {
   EXPECT_EQ(warm.rows, 1000);
   EXPECT_EQ(warm.first_tag, "old");
   EXPECT_TRUE(warm.tail_cache_hit);
-  EXPECT_GT(caches.block_cache()->stats().hits, 0u);
+  EXPECT_GT(caches->block_cache()->stats().hits, 0u);
 
   // Rewrite in place: delete + recreate with different contents (more rows,
   // different tag). The old tail/blocks are still resident in the caches,
@@ -107,20 +107,20 @@ TEST(CacheInvalidationTest, RewrittenFileNeverServedStale) {
 
 TEST(CacheInvalidationTest, UseMetadataCacheKnobBypassesCache) {
   dfs::FileSystem fs;
-  cache::CacheManager caches(4 << 20, 1 << 20);
-  fs.set_cache_manager(&caches);
+  auto caches = std::make_shared<cache::CacheManager>(4 << 20, 1 << 20);
+  fs.set_cache_manager(caches);
   WriteOrc(&fs, "/t/knob", 400, "x");
 
   OrcReadOptions no_cache;
   no_cache.use_metadata_cache = false;
   auto r1 = std::move(OrcReader::Open(&fs, "/t/knob", no_cache)).ValueOrDie();
   EXPECT_FALSE(r1->tail_cache_hit());
-  EXPECT_EQ(caches.metadata_cache()->usage(), 0u);  // Not populated either.
+  EXPECT_EQ(caches->metadata_cache()->usage(), 0u);  // Not populated either.
 
   // Default options use the cache; only now does it warm up.
   auto r2 = std::move(OrcReader::Open(&fs, "/t/knob")).ValueOrDie();
   EXPECT_FALSE(r2->tail_cache_hit());
-  EXPECT_GT(caches.metadata_cache()->usage(), 0u);
+  EXPECT_GT(caches->metadata_cache()->usage(), 0u);
   auto r3 = std::move(OrcReader::Open(&fs, "/t/knob")).ValueOrDie();
   EXPECT_TRUE(r3->tail_cache_hit());
 
@@ -136,8 +136,8 @@ TEST(CacheInvalidationTest, ReaderOpenedBeforeRewriteKeepsItsIncarnation) {
   // so its reads keep resolving against the old incarnation's cache keys —
   // it must not cross-pollinate with the new file's blocks.
   dfs::FileSystem fs;
-  cache::CacheManager caches(4 << 20, 1 << 20);
-  fs.set_cache_manager(&caches);
+  auto caches = std::make_shared<cache::CacheManager>(4 << 20, 1 << 20);
+  fs.set_cache_manager(caches);
 
   WriteOrc(&fs, "/t/pinned", 500, "old");
   auto old_reader =

@@ -198,9 +198,9 @@ TEST(FileSystemTest, BlockCacheServesRepeatReadsAndSplitsIoStats) {
   FileSystemOptions options;
   options.block_size = 100;
   FileSystem fs(options);
-  cache::CacheManager caches(/*block_cache_bytes=*/1 << 20,
+  auto caches = std::make_shared<cache::CacheManager>(/*block_cache_bytes=*/1 << 20,
                              /*metadata_cache_bytes=*/0);
-  fs.set_cache_manager(&caches);
+  fs.set_cache_manager(caches);
 
   WriteFile(&fs, "/c", std::string(250, 'k'));
   auto r = std::move(fs.Open("/c")).ValueOrDie();
@@ -215,7 +215,7 @@ TEST(FileSystemTest, BlockCacheServesRepeatReadsAndSplitsIoStats) {
   EXPECT_EQ(out, std::string(150, 'k'));
   EXPECT_EQ(fs.stats().bytes_read_cached.load(), 150u);
   EXPECT_EQ(fs.stats().bytes_read_physical.load(), 250u);
-  EXPECT_GT(caches.block_cache()->stats().hits, 0u);
+  EXPECT_GT(caches->block_cache()->stats().hits, 0u);
 
   // The aggregate invariant: physical + cached == bytes_read, always.
   EXPECT_EQ(fs.stats().bytes_read_physical.load() +

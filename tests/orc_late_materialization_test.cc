@@ -244,8 +244,8 @@ TEST(OrcLateMaterializationTest, NullRowsDropLikeTheEngineFilter) {
 TEST(OrcLateMaterializationTest, MetadataCacheOnAndOffAgree) {
   dfs::FileSystem fs;
   WriteFile(&fs, "/orc/late_cache", /*with_nulls=*/false);
-  cache::CacheManager caches(4 * 1024 * 1024, 4 * 1024 * 1024);
-  fs.set_cache_manager(&caches);
+  auto caches = std::make_shared<cache::CacheManager>(4 * 1024 * 1024, 4 * 1024 * 1024);
+  fs.set_cache_manager(caches);
 
   SearchArgument sarg;
   sarg.AddLeaf({1, PredicateOp::kLessThan, Value::Int(kCatRange / 4), {}, {}});
@@ -259,7 +259,7 @@ TEST(OrcLateMaterializationTest, MetadataCacheOnAndOffAgree) {
       std::move(ScanBatches(&fs, "/orc/late_cache", &sarg, true)).ValueOrDie();
   ScanResult hot =
       std::move(ScanBatches(&fs, "/orc/late_cache", &sarg, true)).ValueOrDie();
-  EXPECT_GT(caches.metadata_cache()->usage(), 0u);
+  EXPECT_GT(caches->metadata_cache()->usage(), 0u);
   ExpectSameRows(uncached.rows, warm.rows);
   ExpectSameRows(uncached.rows, hot.rows);
   EXPECT_GT(hot.rows_late_skipped, 0u);

@@ -142,7 +142,7 @@ TEST_F(QlCacheTest, FaultTaintedReadsDoNotPopulateCaches) {
   EXPECT_FALSE(result.rows.empty());
   EXPECT_GT(injector.stats().read_delays.load(), 0u);
 
-  cache::CacheManager* caches = fs_->cache_manager();
+  std::shared_ptr<cache::CacheManager> caches = fs_->cache_manager();
   ASSERT_NE(caches, nullptr);
   EXPECT_EQ(caches->block_cache()->usage(), 0u);
   EXPECT_EQ(caches->metadata_cache()->usage(), 0u);

@@ -13,10 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/crc32.h"
+#include "common/delete_bitmap.h"
 #include "common/fault.h"
 #include "common/telemetry.h"
 #include "ql/compaction.h"
 #include "ql/driver.h"
+#include "ql/table_ops.h"
 
 namespace minihive::ql {
 namespace {
@@ -355,6 +358,162 @@ TEST_F(MutableTableTest, DropTableRemovesEverything) {
   Exec("DROP TABLE tmp");
   EXPECT_FALSE(catalog_->HasTable("tmp"));
   EXPECT_TRUE(fs_->List("/warehouse/tmp/").empty());
+}
+
+TEST_F(MutableTableTest, SidecarDecodeRejectsOversizedRowCount) {
+  // A sidecar whose num_rows disagrees with its word payload must be a
+  // typed Corruption, not an out-of-bounds IsDeleted() read later: the
+  // word count is derived from the buffer, and num_rows must fit it
+  // exactly. Valid CRCs make sure the length check itself is what fires.
+  auto encode = [](uint64_t num_rows, uint64_t deleted, size_t words) {
+    std::string data = "MHDB";
+    data.push_back('\x01');
+    auto u64 = [&data](uint64_t v) {
+      for (int i = 0; i < 8; ++i) data.push_back(static_cast<char>(v >> (8 * i)));
+    };
+    u64(num_rows);
+    u64(deleted);
+    for (size_t w = 0; w < words; ++w) u64(0);
+    uint32_t crc = Crc32(data);
+    for (int i = 0; i < 4; ++i) data.push_back(static_cast<char>(crc >> (8 * i)));
+    return data;
+  };
+  // num_rows so large that ceil(num_rows/64)*8 wraps 64-bit arithmetic.
+  auto huge = DeleteBitmap::Decode(encode(~uint64_t{0} - 62, 0, 0));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_TRUE(huge.status().IsCorruption()) << huge.status().ToString();
+  // One word of payload only covers 1..64 rows.
+  EXPECT_FALSE(DeleteBitmap::Decode(encode(65, 0, 1)).ok());
+  EXPECT_FALSE(DeleteBitmap::Decode(encode(128, 0, 1)).ok());
+  // Or claims more rows than any word backs.
+  EXPECT_FALSE(DeleteBitmap::Decode(encode(1, 0, 0)).ok());
+  // The exact-fit encodings still round-trip.
+  EXPECT_TRUE(DeleteBitmap::Decode(encode(64, 0, 1)).ok());
+  EXPECT_TRUE(DeleteBitmap::Decode(encode(0, 0, 0)).ok());
+  DeleteBitmap bitmap(100);
+  bitmap.MarkDeleted(7);
+  auto round = DeleteBitmap::Decode(bitmap.Encode());
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->IsDeleted(7));
+  EXPECT_EQ(round->deleted_count(), 1u);
+}
+
+TEST_F(MutableTableTest, RecoverTableRebuildsSnapshot) {
+  // Build a table with everything recovery must cope with: multiple
+  // partitions, delete-bitmap sidecars, an upsert whose loser lives in a
+  // compacted file, unreaped compaction tombstones (the .r range must
+  // suppress them), and orphan attempt files from a "crashed" statement.
+  const std::string ddl =
+      "CREATE TABLE r (k INT, region STRING, v DOUBLE) "
+      "PARTITIONED BY (region) UNIQUE KEY (k)";
+  Exec(ddl);
+  for (int batch = 0; batch < 4; ++batch) {
+    std::string values;
+    for (int i = 0; i < 10; ++i) {
+      const int k = batch * 10 + i;
+      if (!values.empty()) values += ", ";
+      values += "(" + std::to_string(k) + ", 'eu', " + std::to_string(k) + ".5)";
+    }
+    Exec("INSERT INTO r VALUES " + values);
+  }
+  Exec("INSERT INTO r VALUES (100, 'us', 1.0), (101, 'us', 2.0)");
+  Exec("INSERT INTO r VALUES (102, 'us', 3.0)");
+  Exec("DELETE FROM r WHERE k = 100");     // Sidecar on a surviving file.
+  Exec("INSERT INTO r VALUES (0, 'eu', 999.0)");  // Upsert: k=0 moves.
+
+  // One sweep: merges the eu run, leaves its replaced files tombstoned on
+  // disk (reaping is deferred a sweep — exactly the crash window).
+  CompactionOptions copts;
+  copts.small_file_bytes = 16 * 1024 * 1024;
+  CompactionManager compactor(fs_.get(), catalog_.get(), copts);
+  auto sweep = compactor.RunOnce();
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_GT(sweep->tasks_run, 0u);
+  {
+    auto table = catalog_->GetTable("r");
+    ASSERT_TRUE(table.ok());
+    ASSERT_FALSE((*table)->state->tombstones.empty());
+  }
+
+  // Orphans a crashed statement could leave behind.
+  for (const std::string& orphan :
+       {std::string("/warehouse/r/region=eu/attempt-00000000000000000099"),
+        std::string("/warehouse/r/region=us/part-x.del.attempt")}) {
+    auto file = fs_->Create(orphan);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("junk").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  const std::string sql = "SELECT k, region, v FROM r";
+  const std::vector<std::string> golden = Canonicalize(Exec(sql).rows);
+
+  // "Restart": a fresh catalog over the same DFS. Metadata is not durable,
+  // so the caller re-issues the DDL, then recovers from the files alone.
+  Catalog recovered_catalog(fs_.get());
+  auto exec2 = [&](const std::string& stmt, bool vectorized = false) {
+    Driver driver(fs_.get(), &recovered_catalog, Options(vectorized));
+    auto result = driver.Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << ": " << result.status().ToString();
+    return result.ok() ? *result : QueryResult();
+  };
+  exec2(ddl);
+  TableOps ops(fs_.get(), &recovered_catalog);
+  auto adopted = ops.RecoverTable("r");
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_GT(*adopted, 0u);
+
+  // Same rows, both engines; deletes stayed deleted, the upsert's loser
+  // stayed lost, tombstoned pre-compaction files did not resurrect.
+  EXPECT_EQ(Canonicalize(exec2(sql).rows), golden);
+  EXPECT_EQ(Canonicalize(exec2(sql, /*vectorized=*/true).rows), golden);
+  // Orphans and superseded files are physically gone.
+  EXPECT_TRUE(fs_->List("/warehouse/r/region=eu/attempt-").empty());
+  EXPECT_FALSE(fs_->Exists("/warehouse/r/region=us/part-x.del.attempt"));
+
+  // The rebuilt key index and sequence counter keep upserts correct.
+  QueryResult upsert = exec2("INSERT INTO r VALUES (0, 'eu', -1.0)");
+  EXPECT_EQ(upsert.rows_affected, 1u);
+  QueryResult k0 = exec2("SELECT v FROM r WHERE k = 0");
+  ASSERT_EQ(k0.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(k0.rows[0][0].AsDouble(), -1.0);
+  QueryResult count = exec2("SELECT COUNT(*) AS n FROM r");
+  ASSERT_EQ(count.rows.size(), 1u);
+  EXPECT_EQ(count.rows[0][0].AsInt(), 42);  // 40 eu + (101,102); 100 deleted.
+}
+
+TEST_F(MutableTableTest, DropTableRacesWritersAndCompaction) {
+  // DROP TABLE while INSERTs run and the background compactor sweeps every
+  // millisecond: the copy-based table handles plus the dropped flag must
+  // make every interleaving safe (TSan covers the memory side under the
+  // `robustness` label), and whatever committed before the drop is deleted
+  // with the table — the directory always ends empty.
+  CompactionOptions copts;
+  copts.small_file_bytes = 16 * 1024 * 1024;
+  copts.interval_millis = 1;
+  CompactionManager compactor(fs_.get(), catalog_.get(), copts);
+  compactor.Start();
+  for (int round = 0; round < 10; ++round) {
+    Exec("CREATE TABLE race (k INT, v DOUBLE) UNIQUE KEY (k)");
+    std::thread inserter([&] {
+      for (int i = 0; i < 8; ++i) {
+        Driver driver(fs_.get(), catalog_.get(), Options(false));
+        // NotFound once the drop wins the race is the expected outcome.
+        driver.Execute("INSERT INTO race VALUES (" + std::to_string(i) +
+                       ", 1.5), (" + std::to_string(i + 100) + ", 2.5)")
+            .status();
+      }
+    });
+    std::thread dropper([&] {
+      Driver driver(fs_.get(), catalog_.get(), Options(false));
+      driver.Execute("DROP TABLE race").status();
+    });
+    inserter.join();
+    dropper.join();
+    EXPECT_FALSE(catalog_->HasTable("race")) << "round " << round;
+    EXPECT_TRUE(fs_->List("/warehouse/race/").empty()) << "round " << round;
+  }
+  compactor.Stop();
 }
 
 TEST_F(MutableTableTest, StatementErrorsAreTyped) {

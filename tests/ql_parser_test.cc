@@ -111,6 +111,45 @@ TEST(ParserTest, KeywordsUsableAsColumnNames) {
   EXPECT_EQ(q->select[1].expr->name, "AVG");
 }
 
+TEST(ParserTest, StatementWordsAreContextualNotReserved) {
+  // CREATE/INSERT/VALUES/DELETE/... are matched positionally by the
+  // statement grammar, never reserved — datasets commonly have columns
+  // with these names. As identifiers they keep their original case.
+  AstQueryPtr q = MustParse(
+      "SELECT values, t.insert, drop AS d FROM t WHERE delete = 1 AND "
+      "partitioned > stored ORDER BY unique");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->select[0].expr->name, "values");
+  EXPECT_EQ(q->select[1].expr->name, "insert");
+  EXPECT_EQ(q->select[1].expr->qualifier, "t");
+  EXPECT_EQ(q->select[2].expr->name, "drop");
+  EXPECT_EQ(q->select[2].alias, "d");
+  // Table references too.
+  AstQueryPtr q2 = MustParse("SELECT a FROM create JOIN into ON a = b");
+  EXPECT_EQ(q2->from.table, "create");
+  EXPECT_EQ(q2->joins[0].right.table, "into");
+}
+
+TEST(ParserTest, StatementWordsCaseInsensitiveInStatements) {
+  auto create = ParseStatement(
+      "create table T (k int, region string) partitioned by (region) "
+      "unique key (k) stored as orc");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  EXPECT_EQ((*create)->kind, AstStatementKind::kCreateTable);
+  EXPECT_EQ((*create)->create->unique_key, "k");
+  auto insert = ParseStatement("Insert Into T Values (1, 'eu'), (2, 'us')");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_EQ((*insert)->insert->rows.size(), 2u);
+  auto del = ParseStatement("delete from T where k = 1");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  auto drop = ParseStatement("DROP table T");
+  ASSERT_TRUE(drop.ok()) << drop.status().ToString();
+  EXPECT_EQ((*drop)->drop_table, "T");
+  // Malformed statement heads still fail with a parse error.
+  EXPECT_FALSE(ParseStatement("INSERT T VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("CREATE t (k INT)").ok());
+}
+
 TEST(ParserTest, LineCommentsSkipped) {
   AstQueryPtr q = MustParse(
       "SELECT a -- trailing comment\nFROM t -- another\nWHERE a = 1");
